@@ -1,0 +1,157 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§4–§5): Tables 1–7, the curve data behind Figures 3–6, and
+// the Equation (1) simulator validation.
+//
+// Usage:
+//
+//	experiments                 # quick pass (minutes, preserves shape)
+//	experiments -full           # paper-scale adjustment + k=5 certification
+//	experiments -exp table5     # one experiment
+//	experiments -csvdir ./fig   # also write figure curve CSVs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"tornado/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		full   = flag.Bool("full", false, "paper-scale configuration (clear k=4, certify k=5, heavy sampling)")
+		which  = flag.String("exp", "all", "experiment: all, table1..table7, eq1")
+		trials = flag.Int64("trials", 0, "override Monte Carlo trials per profile point")
+		csvdir = flag.String("csvdir", "", "write figure curve CSVs into this directory")
+	)
+	flag.Parse()
+
+	cfg := exp.Quick()
+	if *full {
+		cfg = exp.Full()
+	}
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+
+	start := time.Now()
+	log.Printf("preparing %d tornado graphs (adjust to k=%d, certify to k=%d, %d trials/point)",
+		len(cfg.Seeds), cfg.AdjustK, cfg.CertifyK, cfg.Trials)
+	var tornadoes []*exp.TornadoGraph
+	for i := range cfg.Seeds {
+		tg, err := exp.PrepareTornado(cfg, i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ff := "none found"
+		if tg.FirstFailure > 0 {
+			ff = fmt.Sprintf("%d (%d/%d cases)", tg.FirstFailure, tg.FailuresAtFF, tg.TestedAtFF)
+		}
+		log.Printf("%s ready: first failure %s", tg.Name, ff)
+		tornadoes = append(tornadoes, tg)
+	}
+
+	want := func(name string) bool { return *which == "all" || *which == name }
+	writeCSV := func(name string, systems []exp.System) {
+		if *csvdir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvdir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(*csvdir, name+".csv")
+		if err := os.WriteFile(path, []byte(exp.CurvesCSV(systems)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", path)
+	}
+
+	if want("table1") {
+		text, systems := exp.Table1(cfg, tornadoes)
+		fmt.Println(text)
+		writeCSV("figure3", systems)
+	}
+	if want("table2") {
+		text, systems, err := exp.Table2(cfg, tornadoes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(text)
+		writeCSV("figure4", systems)
+	}
+	if want("table3") {
+		text, systems, err := exp.Table3(cfg, tornadoes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(text)
+		writeCSV("figure5", systems)
+	}
+	if want("table4") {
+		text, systems, err := exp.Table4(cfg, tornadoes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(text)
+		writeCSV("figure6", systems)
+	}
+	if want("table5") {
+		text, _ := exp.Table5(cfg, tornadoes, 0.01)
+		fmt.Println(text)
+	}
+	if want("table6") {
+		text, _ := exp.Table6(tornadoes)
+		fmt.Println(text)
+	}
+	if want("table7") {
+		text, _, err := exp.Table7(cfg, tornadoes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(text)
+	}
+	if want("eq1") {
+		text, maxAbs, err := exp.Eq1Validation(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(text)
+		fmt.Printf("max |simulated - theory| across k: %.3g\n\n", maxAbs)
+	}
+	if want("overhead") {
+		text, _, err := exp.TableOverhead(cfg, tornadoes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(text)
+	}
+	if want("mttdl") {
+		text, _, err := exp.TableMTTDL(cfg, tornadoes, 0.01)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(text)
+	}
+	if want("lec") {
+		text, _, err := exp.TableLEC(cfg, tornadoes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(text)
+	}
+	switch {
+	case strings.HasPrefix(*which, "table"), *which == "all", *which == "eq1",
+		*which == "overhead", *which == "mttdl", *which == "lec":
+	default:
+		log.Fatalf("unknown experiment %q", *which)
+	}
+	log.Printf("done in %v", time.Since(start).Round(time.Second))
+}

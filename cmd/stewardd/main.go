@@ -1,0 +1,63 @@
+// Command stewardd serves one archival stewarding site over HTTP: a
+// Tornado-coded object store (paper §2.2/§6) with object, block, health,
+// and scrub endpoints — the building block of the federated data
+// stewarding system of §5.3.
+//
+// Usage:
+//
+//	stewardd -listen :8080 -seed 2006 -adjust 3
+//	stewardd -listen :8081 -graph precompiled/tornado96-2.graphml
+//
+// Run two instances with different graphs and point `steward -sites` at
+// both for a federation.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"tornado"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stewardd: ")
+
+	var (
+		listen      = flag.String("listen", ":8080", "listen address")
+		graphPath   = flag.String("graph", "", "GraphML erasure graph (overrides -seed)")
+		precompiled = flag.String("precompiled", "", "use a shipped certified graph by name (e.g. tornado96-1)")
+		seed        = flag.Uint64("seed", 2006, "generate the site graph from this seed")
+		adjustK     = flag.Int("adjust", 3, "adjust the generated graph to tolerate this cardinality")
+		block       = flag.Int("block", 4096, "stripe block size in bytes")
+	)
+	flag.Parse()
+
+	var g *tornado.Graph
+	var err error
+	switch {
+	case *graphPath != "":
+		g, err = tornado.LoadGraphML(*graphPath)
+	case *precompiled != "":
+		g, err = tornado.LoadPrecompiled(*precompiled)
+	default:
+		g, _, err = tornado.Generate(tornado.DefaultParams(), *seed)
+		if err == nil && *adjustK > 0 {
+			g, _, err = tornado.Improve(g, *adjustK, tornado.AdjustOptions{}, *seed+1)
+		}
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	store, err := tornado.NewArchive(g, tornado.NewDevices(g.Total), tornado.ArchiveConfig{
+		BlockSize: *block,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("site graph: %v", g)
+	log.Printf("serving on %s", *listen)
+	log.Fatal(http.ListenAndServe(*listen, tornado.NewSiteServer(store)))
+}

@@ -1,0 +1,94 @@
+package tornado_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"tornado"
+)
+
+// Generating a graph and certifying its fault tolerance is the library's
+// core loop.
+func ExampleGenerate() {
+	g, _, err := tornado.Generate(tornado.DefaultParams(), 2006)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(g.Total, "nodes,", g.Data, "data")
+	// A screened graph tolerates any 2 simultaneous losses.
+	wc, err := tornado.WorstCase(g, tornado.WorstCaseOptions{MaxK: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("failure found up to k=2:", wc.Found)
+	// Output:
+	// 96 nodes, 48 data
+	// failure found up to k=2: false
+}
+
+// Encoding and decoding real bytes through a certified shipped graph.
+func ExampleLoadPrecompiled() {
+	g, err := tornado.LoadPrecompiled("tornado96-1")
+	if err != nil {
+		panic(err)
+	}
+	c, err := tornado.NewCodec(g, 16)
+	if err != nil {
+		panic(err)
+	}
+	payload := bytes.Repeat([]byte("x"), 100)
+	blocks, err := c.Encode(payload)
+	if err != nil {
+		panic(err)
+	}
+	// Lose three blocks; peeling reconstruction recovers them.
+	blocks[0], blocks[50], blocks[90] = nil, nil, nil
+	decoded, err := c.Decode(blocks, len(payload))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("recovered:", bytes.Equal(decoded, payload))
+	// Output:
+	// recovered: true
+}
+
+// The analytic mirrored model is Equation (1) of the paper.
+func ExampleMirroredFailGivenK() {
+	// 48 mirror pairs (96 drives): losing 2 drives is fatal only when
+	// they are a pair.
+	fmt.Printf("%.6f\n", tornado.MirroredFailGivenK(48, 2))
+	// Any 49 losses must kill a pair.
+	fmt.Printf("%.0f\n", tornado.MirroredFailGivenK(48, 49))
+	// Output:
+	// 0.010526
+	// 1
+}
+
+// Composing a failure profile with independent device failures yields the
+// Table 5 reliability numbers.
+func ExampleSystemFailure() {
+	mirrored := func(k int) float64 { return tornado.MirroredFailGivenK(48, k) }
+	p := tornado.SystemFailure(96, 0.01, mirrored)
+	fmt.Printf("%.5f\n", p)
+	// Output:
+	// 0.00479
+}
+
+// Structural defects are the paper's §3.2 failure patterns.
+func ExampleScanDefects() {
+	g, err := tornado.GenerateUnscreened(tornado.DefaultParams(), 3)
+	if err != nil {
+		panic(err)
+	}
+	defects := tornado.ScanDefects(g, 3)
+	fmt.Println("raw random graph has defects:", len(defects) > 0)
+
+	screened, _, err := tornado.Generate(tornado.DefaultParams(), 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("screened graph has defects:", len(tornado.ScanDefects(screened, 3)) > 0)
+	// Output:
+	// raw random graph has defects: true
+	// screened graph has defects: false
+}

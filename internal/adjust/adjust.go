@@ -1,0 +1,226 @@
+// Package adjust implements the paper's feedback-based graph adjustment
+// procedure (§3.3): run the exhaustive worst-case test at the first failing
+// cardinality, identify the critical left node involved in the most failure
+// sets, move one of its edges from the most-implicated check to a check not
+// involved in any failure, and re-test. In the paper this reliably raised
+// the first failure of screened Tornado graphs from 4 lost nodes to 5.
+package adjust
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"tornado/internal/graph"
+	"tornado/internal/sim"
+)
+
+// Options tunes the adjustment loop.
+type Options struct {
+	// MaxRounds bounds the number of rewires attempted while clearing one
+	// cardinality. Default 16.
+	MaxRounds int
+	// MaxFailures caps the failure sets collected per test round. Default 256.
+	MaxFailures int
+	// Workers is passed to the exhaustive search; default GOMAXPROCS.
+	Workers int
+}
+
+func (o *Options) setDefaults() {
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 16
+	}
+	if o.MaxFailures <= 0 {
+		o.MaxFailures = 256
+	}
+}
+
+// Rewire records one adjustment step.
+type Rewire struct {
+	Left int // the critical left node adjusted
+	From int // the implicated check the edge was removed from
+	To   int // the uninvolved replacement check
+}
+
+// Report describes an adjustment run.
+type Report struct {
+	K               int      // cardinality being cleared
+	InitialFailures int64    // failing sets before adjustment
+	FinalFailures   int64    // failing sets in the returned graph
+	Rounds          int      // test rounds executed
+	Rewires         []Rewire // applied steps (of the returned best graph's lineage)
+	Cleared         bool     // no failures remain at cardinality K
+}
+
+// ClearK attempts to eliminate every failing erasure set of cardinality k
+// by iterative rewiring. It returns the best graph found (fewest failures
+// at k; the input graph is not modified) together with a report. Cleared
+// is false when the loop runs out of rounds or candidates — the paper notes
+// success "is ultimately related to the degree of the graph".
+func ClearK(g *graph.Graph, k int, opts Options, rng *rand.Rand) (*graph.Graph, Report, error) {
+	opts.setDefaults()
+	rep := Report{K: k}
+
+	work := g.Clone()
+	kr, err := sim.ExhaustiveK(work, k, opts.MaxFailures, opts.Workers)
+	if err != nil {
+		return nil, rep, err
+	}
+	rep.InitialFailures = kr.FailureCount
+	rep.FinalFailures = kr.FailureCount
+	rep.Rounds = 1
+
+	best := work.Clone()
+	bestCount := kr.FailureCount
+	var bestRewires []Rewire
+	var lineage []Rewire
+
+	for round := 0; kr.FailureCount > 0 && round < opts.MaxRounds; round++ {
+		rw, ok := pickRewire(work, kr.Failures, rng)
+		if !ok {
+			break // insufficient replacement candidates (paper §3.3)
+		}
+		work.RewireEdge(rw.Left, rw.From, rw.To)
+		lineage = append(lineage, rw)
+
+		kr, err = sim.ExhaustiveK(work, k, opts.MaxFailures, opts.Workers)
+		if err != nil {
+			return nil, rep, err
+		}
+		rep.Rounds++
+		if kr.FailureCount < bestCount {
+			bestCount = kr.FailureCount
+			best = work.Clone()
+			bestRewires = append([]Rewire(nil), lineage...)
+		}
+	}
+
+	rep.FinalFailures = bestCount
+	rep.Rewires = bestRewires
+	rep.Cleared = bestCount == 0
+	return best, rep, nil
+}
+
+// Improve finds the graph's first failing cardinality (searching up to
+// maxK) and repeatedly clears it, raising the first failure point until
+// either maxK is tolerated or adjustment stalls. It returns the improved
+// graph and the reports of each cleared cardinality.
+func Improve(g *graph.Graph, maxK int, opts Options, rng *rand.Rand) (*graph.Graph, []Report, error) {
+	var reports []Report
+	cur := g
+	for {
+		wc, err := sim.WorstCase(cur, sim.WorstCaseOptions{MaxK: maxK, MaxFailures: opts.MaxFailures, Workers: opts.Workers})
+		if err != nil {
+			return nil, reports, err
+		}
+		if !wc.Found {
+			return cur, reports, nil // tolerates everything up to maxK
+		}
+		next, rep, err := ClearK(cur, wc.FirstFailure, opts, rng)
+		if err != nil {
+			return nil, reports, err
+		}
+		reports = append(reports, rep)
+		cur = next
+		if !rep.Cleared {
+			return cur, reports, nil // stalled; return best effort
+		}
+	}
+}
+
+// pickRewire chooses the adjustment step from the current failure sets:
+// the data node appearing in the most failure sets is the target; among the
+// target's checks, the one most implicated in failures is dropped; the
+// replacement is a check in the same level that is involved in no failure
+// set and not already a neighbor, preferring low degree.
+func pickRewire(g *graph.Graph, failures [][]int, rng *rand.Rand) (Rewire, bool) {
+	if len(failures) == 0 {
+		return Rewire{}, false
+	}
+	// Frequency of data nodes across failure sets, and the set of involved
+	// checks (erased checks plus checks of erased data nodes).
+	dataFreq := map[int]int{}
+	involved := map[int]bool{}
+	for _, f := range failures {
+		for _, v := range f {
+			if g.IsData(v) {
+				dataFreq[v]++
+				for _, p := range g.Parents(v) {
+					involved[int(p)] = true
+				}
+			} else {
+				involved[v] = true
+			}
+		}
+	}
+	if len(dataFreq) == 0 {
+		return Rewire{}, false
+	}
+	target, bestFreq := -1, 0
+	for v, c := range dataFreq {
+		if c > bestFreq || (c == bestFreq && (target < 0 || v < target)) {
+			target, bestFreq = v, c
+		}
+	}
+
+	// Most implicated parent of the target: count appearances of each
+	// parent inside the failure sets containing the target.
+	parentFreq := map[int]int{}
+	for _, f := range failures {
+		if !contains(f, target) {
+			continue
+		}
+		for _, p := range g.Parents(target) {
+			// A parent is implicated when it is erased in the set or
+			// seals another erased data node in the set.
+			for _, v := range f {
+				if v == int(p) || (g.IsData(v) && v != target && g.HasEdge(int(p), v)) {
+					parentFreq[int(p)]++
+					break
+				}
+			}
+		}
+	}
+	from := -1
+	for _, p := range g.Parents(target) {
+		if from < 0 || parentFreq[int(p)] > parentFreq[from] {
+			from = int(p)
+		}
+	}
+	if from < 0 {
+		return Rewire{}, false
+	}
+
+	// Replacement candidates: same level, uninvolved, not already adjacent.
+	li := g.LevelOfRight(from)
+	lv := g.Levels[li]
+	var cands []int
+	for r := lv.RightFirst; r < lv.RightFirst+lv.RightCount; r++ {
+		if involved[r] || g.HasEdge(r, target) {
+			continue
+		}
+		cands = append(cands, r)
+	}
+	if len(cands) == 0 || g.RightDegree(from) <= 1 {
+		return Rewire{}, false
+	}
+	to := cands[rng.IntN(len(cands))]
+	for _, r := range cands {
+		if g.RightDegree(r) < g.RightDegree(to) {
+			to = r
+		}
+	}
+	return Rewire{Left: target, From: from, To: to}, true
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (r Rewire) String() string {
+	return fmt.Sprintf("left %d: %d → %d", r.Left, r.From, r.To)
+}

@@ -1,0 +1,156 @@
+// Package altgraph builds the non-Tornado erasure graph families the paper
+// evaluates in §4.3 (Figures 5–6, Tables 3–4):
+//
+//   - regular single-stage bipartite graphs (degree 4 and 11),
+//   - altered Tornado Codes whose left degree distribution is doubled or
+//     shifted by one edge, and
+//   - fixed-degree cascaded random graphs (degree 3, 4, 6) that share the
+//     Tornado level structure but replace the irregular distribution with
+//     a constant left degree.
+package altgraph
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"tornado/internal/core"
+	"tornado/internal/dist"
+	"tornado/internal/graph"
+)
+
+// RegularSingleStage builds a random degree-regular single-stage bipartite
+// graph: data data nodes and data check nodes, every node of degree deg
+// (the union of deg random perfect matchings, resampled to avoid duplicate
+// edges).
+func RegularSingleStage(data, deg int, rng *rand.Rand) (*graph.Graph, error) {
+	if deg < 1 || deg > data {
+		return nil, fmt.Errorf("altgraph: degree %d out of range for %d nodes per side", deg, data)
+	}
+	b := graph.NewBuilder(data)
+	r := b.AddLevel(0, data, data)
+	g := b.Graph()
+	// neighbors[i] accumulates check i's data nodes across matchings.
+	neighbors := make([][]int, data)
+	for j := 0; j < deg; j++ {
+		perm, ok := matchingAvoiding(neighbors, rng)
+		if !ok {
+			return nil, fmt.Errorf("altgraph: could not extend %d-regular graph at matching %d", deg, j)
+		}
+		for i := 0; i < data; i++ {
+			neighbors[i] = append(neighbors[i], perm[i])
+		}
+	}
+	for i := 0; i < data; i++ {
+		g.SetNeighbors(r+i, neighbors[i])
+	}
+	g.Name = fmt.Sprintf("regular-%d-deg%d", 2*data, deg)
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// matchingAvoiding draws a random perfect matching (permutation) in which
+// position i avoids the values in forbidden[i], repairing collisions by
+// pairwise swaps. It redraws on rare unrepairable permutations.
+func matchingAvoiding(forbidden [][]int, rng *rand.Rand) ([]int, bool) {
+	n := len(forbidden)
+	const drawAttempts = 200
+	for attempt := 0; attempt < drawAttempts; attempt++ {
+		perm := rng.Perm(n)
+		ok := true
+		for i := 0; i < n; i++ {
+			if !containsInt(forbidden[i], perm[i]) {
+				continue
+			}
+			// Swap with a position k such that both ends become legal.
+			fixed := false
+			for try := 0; try < 4*n; try++ {
+				k := rng.IntN(n)
+				if k == i {
+					continue
+				}
+				if !containsInt(forbidden[i], perm[k]) && !containsInt(forbidden[k], perm[i]) {
+					perm[i], perm[k] = perm[k], perm[i]
+					fixed = true
+					break
+				}
+			}
+			if !fixed {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return perm, true
+		}
+	}
+	return nil, false
+}
+
+// FixedCascade builds a cascaded random graph with the Tornado level
+// structure (core.PlanLevels) but a constant left degree at every level —
+// the paper's "fixed-degree cascading LDPC graphs" (§4.3, Figure 6).
+func FixedCascade(totalNodes, deg int, rng *rand.Rand) (*graph.Graph, error) {
+	p := core.DefaultParams()
+	p.TotalNodes = totalNodes
+	p.DefectScanSize = 0 // the paper's fixed-degree graphs are raw random draws
+	p.LeftDist = func(maxDeg int) dist.Dist {
+		return dist.Uniform(min(deg, maxDeg))
+	}
+	g, err := core.GenerateUnscreened(p, rng)
+	if err != nil {
+		return nil, err
+	}
+	g.Name = fmt.Sprintf("cascade-%d-deg%d", totalNodes, deg)
+	return g, nil
+}
+
+// DoubledTornado builds a Tornado graph whose left degree distribution is
+// doubled (every degree ×2) — the paper's "Altered Tornado (dist. doubled)".
+func DoubledTornado(p core.Params, rng *rand.Rand) (*graph.Graph, core.GenStats, error) {
+	base := p.HeavyTailD
+	p.LeftDist = func(maxDeg int) dist.Dist {
+		// Doubling maps max degree D+1 to 2(D+1); keep it within maxDeg.
+		D := min(base, maxDeg/2-1)
+		if D < 1 {
+			return dist.Uniform(min(2, maxDeg))
+		}
+		return dist.HeavyTail(D).Doubled()
+	}
+	g, st, err := core.Generate(p, rng)
+	if err != nil {
+		return nil, st, err
+	}
+	g.Name = fmt.Sprintf("tornado-%d-doubled", p.TotalNodes)
+	return g, st, nil
+}
+
+// ShiftedTornado builds a Tornado graph whose left degree distribution is
+// shifted by +1 edge — the paper's "Altered Tornado (dist. shifted)".
+func ShiftedTornado(p core.Params, rng *rand.Rand) (*graph.Graph, core.GenStats, error) {
+	base := p.HeavyTailD
+	p.LeftDist = func(maxDeg int) dist.Dist {
+		// Shifting maps max degree D+1 to D+2; keep it within maxDeg.
+		D := min(base, maxDeg-2)
+		if D < 1 {
+			return dist.Uniform(min(2, maxDeg))
+		}
+		return dist.HeavyTail(D).Shifted(1)
+	}
+	g, st, err := core.Generate(p, rng)
+	if err != nil {
+		return nil, st, err
+	}
+	g.Name = fmt.Sprintf("tornado-%d-shifted", p.TotalNodes)
+	return g, st, nil
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

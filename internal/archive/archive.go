@@ -1,0 +1,296 @@
+// Package archive is the prototype archival storage system the paper works
+// toward (§2.2, §6): a transactional object store ("complete files or
+// objects are uploaded or downloaded") that stripes every object across one
+// simulated device per graph node, protects it with a profiled Tornado Code
+// graph, reconstructs around failed devices on read, and proactively scrubs
+// stripes — "a stripe reliability assurance and user introspection
+// mechanism to proactively monitor the status of distributed encoded
+// stripes and reconstruct missing blocks before a stripe approaches the
+// initial failure point".
+package archive
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"tornado/internal/codec"
+	"tornado/internal/device"
+	"tornado/internal/graph"
+	"tornado/internal/retrieval"
+)
+
+// Errors returned by the store.
+var (
+	ErrNotFound = errors.New("archive: object not found")
+	ErrExists   = errors.New("archive: object already exists")
+	// ErrDataLoss wraps codec.ErrUnrecoverable with object context.
+	ErrDataLoss = errors.New("archive: object unrecoverable")
+)
+
+// Object describes a stored object.
+type Object struct {
+	Name    string
+	Size    int
+	Stripes int
+}
+
+// GetStats reports the retrieval work of one Get.
+type GetStats struct {
+	DevicesAccessed int // distinct devices read
+	BlocksRead      int
+	BlocksRepaired  int // blocks reconstructed rather than read
+	CorruptBlocks   int // blocks failing their checksum (treated as erased)
+}
+
+// Config tunes a Store.
+type Config struct {
+	// BlockSize is the stripe block size in bytes. Default 4096.
+	BlockSize int
+	// FirstFailure is the graph's measured worst-case failure point (from
+	// the exhaustive search); Scrub uses it to report each stripe's margin
+	// to the initial failure point. Zero disables margin reporting.
+	FirstFailure int
+	// NaiveRetrieval disables the guided minimal-block retrieval plan
+	// (§5.2/§6 optimization) and reads every reachable block on Get.
+	NaiveRetrieval bool
+}
+
+// Store is the archival object store. It is safe for concurrent use.
+type Store struct {
+	g       *graph.Graph
+	codec   *codec.Codec
+	backend Backend
+	devices device.Array // non-nil only for array-backed stores
+	cfg     Config
+
+	mu      sync.Mutex
+	objects map[string]*Object
+}
+
+// New builds a store over one always-on device per graph node.
+func New(g *graph.Graph, devices device.Array, cfg Config) (*Store, error) {
+	if len(devices) != g.Total {
+		return nil, fmt.Errorf("archive: %d devices for a %d-node graph", len(devices), g.Total)
+	}
+	s, err := NewWithBackend(g, NewArrayBackend(devices), cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.devices = devices
+	return s, nil
+}
+
+// NewWithBackend builds a store over an arbitrary Backend (e.g. a MAID
+// shelf).
+func NewWithBackend(g *graph.Graph, backend Backend, cfg Config) (*Store, error) {
+	if backend.Nodes() != g.Total {
+		return nil, fmt.Errorf("archive: %d devices for a %d-node graph", backend.Nodes(), g.Total)
+	}
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = 4096
+	}
+	c, err := codec.New(g, cfg.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{
+		g:       g,
+		codec:   c,
+		backend: backend,
+		cfg:     cfg,
+		objects: map[string]*Object{},
+	}, nil
+}
+
+// Graph returns the store's erasure graph.
+func (s *Store) Graph() *graph.Graph { return s.g }
+
+// Devices returns the store's device array when it was built with New, or
+// nil for custom backends.
+func (s *Store) Devices() device.Array { return s.devices }
+
+func blockKey(name string, stripe, node int) string {
+	return fmt.Sprintf("%s/%d/%d", name, stripe, node)
+}
+
+// Put encodes and stores an object. The transactional archival interface
+// takes whole objects; there are no partial updates (paper §2.2). Devices
+// that are unavailable at write time simply miss their block — exactly the
+// redundancy the code is there to absorb.
+func (s *Store) Put(name string, data []byte) error {
+	s.mu.Lock()
+	if _, ok := s.objects[name]; ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	// Reserve the name while encoding.
+	obj := &Object{Name: name, Size: len(data)}
+	s.objects[name] = obj
+	s.mu.Unlock()
+
+	cap := s.codec.Capacity()
+	stripes := (len(data) + cap - 1) / cap
+	if stripes == 0 {
+		stripes = 1
+	}
+	for st := 0; st < stripes; st++ {
+		lo := st * cap
+		hi := min(lo+cap, len(data))
+		blocks, err := s.codec.Encode(data[lo:hi])
+		if err != nil {
+			s.deleteObject(name)
+			return err
+		}
+		for node, b := range blocks {
+			// Unavailable devices lose their block; the stripe's parity
+			// absorbs it. Blocks are stored framed with a CRC-32C so bit
+			// rot is detected on read.
+			_ = s.backend.Write(node, blockKey(name, st, node), frameBlock(b))
+		}
+	}
+	s.mu.Lock()
+	obj.Stripes = stripes
+	s.mu.Unlock()
+	return nil
+}
+
+// Get retrieves an object, reconstructing around unavailable devices.
+func (s *Store) Get(name string) ([]byte, GetStats, error) {
+	s.mu.Lock()
+	obj, ok := s.objects[name]
+	var size, stripes int
+	if ok {
+		size, stripes = obj.Size, obj.Stripes
+	}
+	s.mu.Unlock()
+	var stats GetStats
+	if !ok || (stripes == 0 && size > 0) {
+		// Unknown, or a Put still in flight (stripes not finalized).
+		return nil, stats, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+
+	out := make([]byte, 0, size)
+	cap := s.codec.Capacity()
+	touched := map[int]bool{}
+	for st := 0; st < stripes; st++ {
+		want := size - st*cap
+		if want > cap {
+			want = cap
+		}
+		payload, err := s.getStripe(name, st, want, touched, &stats)
+		if err != nil {
+			return nil, stats, err
+		}
+		out = append(out, payload...)
+	}
+	stats.DevicesAccessed = len(touched)
+	return out, stats, nil
+}
+
+func (s *Store) getStripe(name string, st, payloadLen int, touched map[int]bool, stats *GetStats) ([]byte, error) {
+	avail := make([]bool, s.g.Total)
+	for node := range avail {
+		avail[node] = s.backend.Available(node, blockKey(name, st, node))
+	}
+
+	var toRead []int
+	if !s.cfg.NaiveRetrieval {
+		plan, _, err := retrieval.Plan(s.g, avail, s.backend.Cost)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %q stripe %d: %v", ErrDataLoss, name, st, err)
+		}
+		toRead = plan
+	} else {
+		for node, ok := range avail {
+			if ok {
+				toRead = append(toRead, node)
+			}
+		}
+	}
+
+	blocks := make([][]byte, s.g.Total)
+	for _, node := range toRead {
+		framed, err := s.backend.Read(node, blockKey(name, st, node))
+		if err != nil {
+			continue // raced with a failure; the decoder will cope or report
+		}
+		touched[node] = true
+		stats.BlocksRead++
+		b, ok := unframeBlock(framed)
+		if !ok {
+			stats.CorruptBlocks++ // bit rot: treat as an erasure
+			continue
+		}
+		blocks[node] = b
+	}
+	payload, err := s.codec.Decode(blocks, payloadLen)
+	if errors.Is(err, codec.ErrUnrecoverable) && !s.cfg.NaiveRetrieval {
+		// The plan raced with failures; fall back to everything reachable.
+		for node, ok := range avail {
+			if ok && blocks[node] == nil {
+				framed, rerr := s.backend.Read(node, blockKey(name, st, node))
+				if rerr != nil {
+					continue
+				}
+				touched[node] = true
+				stats.BlocksRead++
+				if b, fok := unframeBlock(framed); fok {
+					blocks[node] = b
+				} else {
+					stats.CorruptBlocks++
+				}
+			}
+		}
+		payload, err = s.codec.Decode(blocks, payloadLen)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q stripe %d: %v", ErrDataLoss, name, st, err)
+	}
+	for node := 0; node < s.g.Data; node++ {
+		if !avail[node] {
+			stats.BlocksRepaired++
+		}
+	}
+	return payload, nil
+}
+
+// Delete removes an object and its blocks from all reachable devices.
+func (s *Store) Delete(name string) error {
+	s.mu.Lock()
+	obj, ok := s.objects[name]
+	var stripes int
+	if ok {
+		stripes = obj.Stripes
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	for st := 0; st < stripes; st++ {
+		for node := 0; node < s.g.Total; node++ {
+			_ = s.backend.Delete(node, blockKey(name, st, node))
+		}
+	}
+	s.deleteObject(name)
+	return nil
+}
+
+func (s *Store) deleteObject(name string) {
+	s.mu.Lock()
+	delete(s.objects, name)
+	s.mu.Unlock()
+}
+
+// List returns the stored objects sorted by name.
+func (s *Store) List() []Object {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Object, 0, len(s.objects))
+	for _, o := range s.objects {
+		out = append(out, *o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

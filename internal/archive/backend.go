@@ -1,0 +1,60 @@
+package archive
+
+import (
+	"math"
+
+	"tornado/internal/device"
+)
+
+// Backend abstracts the block storage under the archive: a plain device
+// array, or a power-managed MAID shelf that spins drives up on demand.
+type Backend interface {
+	// Nodes returns the device count (one per graph node).
+	Nodes() int
+	// Available reports whether node's copy of key can be retrieved at
+	// all, possibly after a spin-up. Failed or unreachable devices are
+	// unavailable.
+	Available(node int, key string) bool
+	// Read fetches a block, performing any power management needed.
+	Read(node int, key string) ([]byte, error)
+	// Write stores a block, performing any power management needed.
+	Write(node int, key string, data []byte) error
+	// Delete removes a block; deleting a missing block is a no-op.
+	Delete(node int, key string) error
+	// Cost prices reading node for retrieval planning (e.g. spun-down
+	// drives cost a spin-up). Unreachable nodes return +Inf.
+	Cost(node int) float64
+}
+
+// arrayBackend serves an always-on device array.
+type arrayBackend struct {
+	devs device.Array
+}
+
+// NewArrayBackend wraps a plain device array as a Backend.
+func NewArrayBackend(devs device.Array) Backend { return arrayBackend{devs: devs} }
+
+func (a arrayBackend) Nodes() int { return len(a.devs) }
+
+func (a arrayBackend) Available(node int, key string) bool {
+	return a.devs[node].State() == device.Online && a.devs[node].Has(key)
+}
+
+func (a arrayBackend) Read(node int, key string) ([]byte, error) {
+	return a.devs[node].Read(key)
+}
+
+func (a arrayBackend) Write(node int, key string, data []byte) error {
+	return a.devs[node].Write(key, data)
+}
+
+func (a arrayBackend) Delete(node int, key string) error {
+	return a.devs[node].Delete(key)
+}
+
+func (a arrayBackend) Cost(node int) float64 {
+	if a.devs[node].State() != device.Online {
+		return math.Inf(1)
+	}
+	return 1
+}

@@ -1,0 +1,92 @@
+package archive
+
+import "fmt"
+
+// Stat returns an object's metadata.
+func (s *Store) Stat(name string) (Object, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj, ok := s.objects[name]
+	if !ok {
+		return Object{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return *obj, nil
+}
+
+// StripeLayout describes how objects are striped for block-level access.
+type StripeLayout struct {
+	BlockSize      int
+	StripeCapacity int // payload bytes per stripe
+	NodesPerStripe int // blocks per stripe (one per graph node)
+	DataNodes      int
+}
+
+// Layout returns the store's striping parameters.
+func (s *Store) Layout() StripeLayout {
+	return StripeLayout{
+		BlockSize:      s.cfg.BlockSize,
+		StripeCapacity: s.codec.Capacity(),
+		NodesPerStripe: s.g.Total,
+		DataNodes:      s.g.Data,
+	}
+}
+
+// ReadBlock returns one checksum-verified block of an object's stripe —
+// the block-level interface the federated stewarding system uses to
+// exchange blocks between sites (§5.3). Corrupt blocks report ErrNotFound
+// (to a remote peer, a rotted block and a missing block are the same).
+func (s *Store) ReadBlock(name string, stripe, node int) ([]byte, error) {
+	obj, err := s.Stat(name)
+	if err != nil {
+		return nil, err
+	}
+	if stripe < 0 || stripe >= obj.Stripes || node < 0 || node >= s.g.Total {
+		return nil, fmt.Errorf("%w: %q stripe %d node %d", ErrNotFound, name, stripe, node)
+	}
+	key := blockKey(name, stripe, node)
+	if !s.backend.Available(node, key) {
+		return nil, fmt.Errorf("%w: %q stripe %d node %d", ErrNotFound, name, stripe, node)
+	}
+	framed, err := s.backend.Read(node, key)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q stripe %d node %d", ErrNotFound, name, stripe, node)
+	}
+	b, ok := unframeBlock(framed)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q stripe %d node %d (checksum)", ErrNotFound, name, stripe, node)
+	}
+	return b, nil
+}
+
+// WriteBlock stores one block of an object's stripe, framed with its
+// checksum. It is the restore path of the federated exchange: a recovered
+// block is written back to its home device.
+func (s *Store) WriteBlock(name string, stripe, node int, payload []byte) error {
+	obj, err := s.Stat(name)
+	if err != nil {
+		return err
+	}
+	if stripe < 0 || stripe >= obj.Stripes || node < 0 || node >= s.g.Total {
+		return fmt.Errorf("archive: block out of range: %q stripe %d node %d", name, stripe, node)
+	}
+	if len(payload) != s.cfg.BlockSize {
+		return fmt.Errorf("archive: block size %d, want %d", len(payload), s.cfg.BlockSize)
+	}
+	return s.backend.Write(node, blockKey(name, stripe, node), frameBlock(payload))
+}
+
+// PutShell registers an object's metadata without writing any blocks —
+// used when a replica site receives blocks out of band (federated
+// replication streams blocks, not whole objects).
+func (s *Store) PutShell(name string, size, stripes int) error {
+	if size < 0 || stripes < 1 {
+		return fmt.Errorf("archive: invalid shell %q (size %d, stripes %d)", name, size, stripes)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objects[name]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	s.objects[name] = &Object{Name: name, Size: size, Stripes: stripes}
+	return nil
+}

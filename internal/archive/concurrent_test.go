@@ -1,0 +1,96 @@
+package archive
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentPutGetScrub exercises the store's concurrency contract:
+// parallel writers, readers, a scrubber, and a failure injector. Run with
+// -race in CI.
+func TestConcurrentPutGetScrub(t *testing.T) {
+	s := testStore(t, Config{BlockSize: 64, FirstFailure: 4})
+	// Seed some objects.
+	base := map[string][]byte{}
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("seed-%d", i)
+		data := payload(700+i*13, uint64(i))
+		if err := s.Put(name, data); err != nil {
+			t.Fatal(err)
+		}
+		base[name] = data
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+
+	// Writers add fresh objects.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				name := fmt.Sprintf("w%d-%d", w, i)
+				if err := s.Put(name, payload(300, uint64(w*100+i))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	// Readers hammer the seeded objects.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				for name, want := range base {
+					got, _, err := s.Get(name)
+					if err != nil {
+						// Data loss is impossible here (no failures while
+						// reading in this goroutine — the injector only
+						// fails 2 devices, under the margin).
+						errs <- err
+						return
+					}
+					if !bytes.Equal(got, want) {
+						errs <- errors.New("corrupt read")
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	// A scrubber loops.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			if _, err := s.Scrub(true); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	// A failure injector takes out two drives (within margin), then
+	// replaces them.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewPCG(9, 9))
+		ids := s.Devices().FailRandom(2, rng)
+		for _, id := range ids {
+			s.Devices()[id].Replace()
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,38 @@
+package archive
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Archival storage must assume silent corruption (bit rot) as well as
+// whole-device loss. Every block is therefore stored framed with a
+// CRC-32C: a corrupted block is detected on read and treated as an
+// erasure, which the graph's parity then repairs — detected corruption
+// costs no more than a missing block.
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+const frameOverhead = 4
+
+// frameBlock prepends the payload's CRC-32C.
+func frameBlock(payload []byte) []byte {
+	out := make([]byte, frameOverhead+len(payload))
+	binary.BigEndian.PutUint32(out, crc32.Checksum(payload, castagnoli))
+	copy(out[frameOverhead:], payload)
+	return out
+}
+
+// unframeBlock verifies and strips the checksum, reporting ok=false for
+// truncated or corrupted frames.
+func unframeBlock(framed []byte) ([]byte, bool) {
+	if len(framed) < frameOverhead {
+		return nil, false
+	}
+	want := binary.BigEndian.Uint32(framed)
+	payload := framed[frameOverhead:]
+	if crc32.Checksum(payload, castagnoli) != want {
+		return nil, false
+	}
+	return payload, true
+}

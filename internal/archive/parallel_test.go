@@ -1,0 +1,92 @@
+package archive
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestParallelPutGetRoundTrip(t *testing.T) {
+	s := testStore(t, Config{BlockSize: 32})
+	data := payload(12000, 41) // many stripes
+	if err := s.PutParallel("obj", data, 4); err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := s.GetParallel("obj", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("parallel round trip mismatch")
+	}
+	if stats.DevicesAccessed == 0 || stats.BlocksRead == 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	// Interoperates with the serial path.
+	serial, _, err := s.Get("obj")
+	if err != nil || !bytes.Equal(serial, data) {
+		t.Errorf("serial get of parallel put: %v", err)
+	}
+}
+
+func TestParallelMatchesSerialStats(t *testing.T) {
+	a := testStore(t, Config{BlockSize: 32})
+	b := testStore(t, Config{BlockSize: 32})
+	data := payload(6000, 42)
+	if err := a.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PutParallel("obj", data, 4); err != nil {
+		t.Fatal(err)
+	}
+	_, sa, err := a.Get("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sb, err := b.GetParallel("obj", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.BlocksRead != sb.BlocksRead || sa.DevicesAccessed != sb.DevicesAccessed {
+		t.Errorf("stats diverge: serial %+v vs parallel %+v", sa, sb)
+	}
+}
+
+func TestParallelWorkersOneFallsBack(t *testing.T) {
+	s := testStore(t, Config{BlockSize: 32})
+	data := payload(500, 43)
+	if err := s.PutParallel("obj", data, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := s.GetParallel("obj", 0)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Errorf("workers<=1 fallback: %v", err)
+	}
+}
+
+func TestParallelDuplicateAndMissing(t *testing.T) {
+	s := testStore(t, Config{BlockSize: 32})
+	if err := s.PutParallel("obj", payload(100, 44), 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutParallel("obj", payload(100, 44), 4); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate: %v", err)
+	}
+	if _, _, err := s.GetParallel("nope", 4); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing: %v", err)
+	}
+}
+
+func TestParallelSurvivesFailures(t *testing.T) {
+	s := testStore(t, Config{BlockSize: 32})
+	data := payload(9000, 45)
+	if err := s.PutParallel("obj", data, 4); err != nil {
+		t.Fatal(err)
+	}
+	s.Devices()[1].Fail()
+	s.Devices()[70].Fail()
+	got, _, err := s.GetParallel("obj", 4)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Errorf("parallel reconstruction: %v", err)
+	}
+}

@@ -1,0 +1,93 @@
+package archive
+
+// StripeHealth is the introspection record for one stripe (§6: "stripe
+// reliability assurance and user introspection mechanism").
+type StripeHealth struct {
+	Object      string
+	Stripe      int
+	Missing     []int // nodes whose block is unreachable, absent, or corrupt
+	Corrupt     []int // subset of Missing that failed its checksum (bit rot)
+	Recoverable bool  // the surviving blocks still reconstruct the data
+	// Margin is FirstFailure − len(Missing): how many further losses the
+	// stripe is guaranteed to absorb. Negative or zero means the stripe is
+	// at or past the initial failure point. Only meaningful when the store
+	// was configured with the graph's measured FirstFailure.
+	Margin int
+	// Repaired lists the blocks the scrub rewrote onto healthy devices.
+	Repaired []int
+}
+
+// ScrubReport aggregates a scrub pass.
+type ScrubReport struct {
+	Stripes        []StripeHealth
+	BlocksRepaired int
+	AtRisk         int // stripes with Margin <= 0 (when margin is enabled)
+	Unrecoverable  int
+}
+
+// Scrub inspects every stripe of every object, reports each stripe's
+// health, and — when repair is true — reconstructs missing blocks and
+// rewrites them to their home devices (replaced drives are repopulated this
+// way). Unrecoverable stripes are reported, never touched.
+func (s *Store) Scrub(repair bool) (ScrubReport, error) {
+	var rep ScrubReport
+	for _, obj := range s.List() {
+		for st := 0; st < obj.Stripes; st++ {
+			h, err := s.scrubStripe(obj.Name, st, repair)
+			if err != nil {
+				return rep, err
+			}
+			rep.Stripes = append(rep.Stripes, h)
+			rep.BlocksRepaired += len(h.Repaired)
+			if !h.Recoverable {
+				rep.Unrecoverable++
+			} else if s.cfg.FirstFailure > 0 && h.Margin <= 0 {
+				rep.AtRisk++
+			}
+		}
+	}
+	return rep, nil
+}
+
+func (s *Store) scrubStripe(name string, st int, repair bool) (StripeHealth, error) {
+	h := StripeHealth{Object: name, Stripe: st}
+	blocks := make([][]byte, s.g.Total)
+	for node := 0; node < s.g.Total; node++ {
+		key := blockKey(name, st, node)
+		if s.backend.Available(node, key) {
+			framed, err := s.backend.Read(node, key)
+			if err == nil {
+				if b, ok := unframeBlock(framed); ok {
+					blocks[node] = b
+					continue
+				}
+				h.Corrupt = append(h.Corrupt, node)
+			}
+		}
+		h.Missing = append(h.Missing, node)
+	}
+	if len(h.Missing) == 0 {
+		h.Recoverable = true
+		h.Margin = s.cfg.FirstFailure
+		return h, nil
+	}
+
+	err := s.codec.Repair(blocks)
+	h.Recoverable = err == nil
+	if s.cfg.FirstFailure > 0 {
+		h.Margin = s.cfg.FirstFailure - len(h.Missing)
+	}
+	if !h.Recoverable || !repair {
+		return h, nil
+	}
+	for _, node := range h.Missing {
+		if blocks[node] == nil {
+			continue // a check block peeling never needed; leave it
+		}
+		if werr := s.backend.Write(node, blockKey(name, st, node), frameBlock(blocks[node])); werr != nil {
+			continue // home device still dead; the next scrub retries
+		}
+		h.Repaired = append(h.Repaired, node)
+	}
+	return h, nil
+}

@@ -1,0 +1,92 @@
+package archive
+
+import (
+	"fmt"
+	"io"
+)
+
+// PutReader ingests an object of unknown size from r, striping it as it
+// streams: each stripe's payload is read, encoded, and written before the
+// next is touched, so memory stays bounded by one stripe regardless of
+// object size. The transactional property is preserved — on error the
+// partial object is deleted.
+func (s *Store) PutReader(name string, r io.Reader) (int, error) {
+	s.mu.Lock()
+	if _, ok := s.objects[name]; ok {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	obj := &Object{Name: name}
+	s.objects[name] = obj
+	s.mu.Unlock()
+
+	cap := s.codec.Capacity()
+	buf := make([]byte, cap)
+	total, stripes := 0, 0
+	for {
+		n, err := io.ReadFull(r, buf)
+		eof := err == io.EOF || err == io.ErrUnexpectedEOF
+		if err != nil && !eof {
+			s.deleteObject(name)
+			return total, fmt.Errorf("archive: stream %q: %w", name, err)
+		}
+		if n > 0 || stripes == 0 {
+			blocks, encErr := s.codec.Encode(buf[:n])
+			if encErr != nil {
+				s.deleteObject(name)
+				return total, encErr
+			}
+			for node, b := range blocks {
+				_ = s.backend.Write(node, blockKey(name, stripes, node), frameBlock(b))
+			}
+			stripes++
+			total += n
+		}
+		if eof {
+			break
+		}
+	}
+	s.mu.Lock()
+	obj.Size = total
+	obj.Stripes = stripes
+	s.mu.Unlock()
+	return total, nil
+}
+
+// GetWriter streams an object to w stripe by stripe, reconstructing each
+// stripe independently; memory stays bounded by one stripe. It returns the
+// bytes written and the aggregated retrieval stats.
+func (s *Store) GetWriter(name string, w io.Writer) (int, GetStats, error) {
+	s.mu.Lock()
+	obj, ok := s.objects[name]
+	var size, stripes int
+	if ok {
+		size, stripes = obj.Size, obj.Stripes
+	}
+	s.mu.Unlock()
+	var stats GetStats
+	if !ok || (stripes == 0 && size > 0) {
+		return 0, stats, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+
+	cap := s.codec.Capacity()
+	touched := map[int]bool{}
+	written := 0
+	for st := 0; st < stripes; st++ {
+		want := size - st*cap
+		if want > cap {
+			want = cap
+		}
+		payload, err := s.getStripe(name, st, want, touched, &stats)
+		if err != nil {
+			return written, stats, err
+		}
+		n, err := w.Write(payload)
+		written += n
+		if err != nil {
+			return written, stats, fmt.Errorf("archive: stream %q: %w", name, err)
+		}
+	}
+	stats.DevicesAccessed = len(touched)
+	return written, stats, nil
+}

@@ -1,0 +1,135 @@
+package archive
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/iotest"
+)
+
+func TestPutReaderGetWriterRoundTrip(t *testing.T) {
+	s := testStore(t, Config{BlockSize: 32}) // capacity 1536/stripe
+	data := payload(5000, 31)                // 4 stripes
+	n, err := s.PutReader("obj", bytes.NewReader(data))
+	if err != nil || n != 5000 {
+		t.Fatalf("PutReader = %d, %v", n, err)
+	}
+	obj, err := s.Stat("obj")
+	if err != nil || obj.Size != 5000 || obj.Stripes != 4 {
+		t.Fatalf("Stat = %+v, %v", obj, err)
+	}
+	var out bytes.Buffer
+	wn, stats, err := s.GetWriter("obj", &out)
+	if err != nil || wn != 5000 {
+		t.Fatalf("GetWriter = %d, %v", wn, err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Error("stream round trip mismatch")
+	}
+	if stats.DevicesAccessed == 0 {
+		t.Error("no stats")
+	}
+	// Streaming and buffered paths interoperate.
+	got, _, err := s.Get("obj")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Errorf("buffered Get of streamed object: %v", err)
+	}
+}
+
+func TestPutReaderEmptyObject(t *testing.T) {
+	s := testStore(t, Config{BlockSize: 32})
+	n, err := s.PutReader("empty", strings.NewReader(""))
+	if err != nil || n != 0 {
+		t.Fatalf("PutReader = %d, %v", n, err)
+	}
+	var out bytes.Buffer
+	wn, _, err := s.GetWriter("empty", &out)
+	if err != nil || wn != 0 {
+		t.Fatalf("GetWriter = %d, %v", wn, err)
+	}
+}
+
+func TestPutReaderExactStripeBoundary(t *testing.T) {
+	s := testStore(t, Config{BlockSize: 32})
+	cap := s.Layout().StripeCapacity
+	data := payload(2*cap, 32) // exactly two stripes
+	if _, err := s.PutReader("obj", bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	obj, _ := s.Stat("obj")
+	if obj.Stripes != 2 {
+		t.Errorf("stripes = %d, want 2", obj.Stripes)
+	}
+	got, _, err := s.Get("obj")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Errorf("boundary round trip: %v", err)
+	}
+}
+
+func TestPutReaderErrAbortsCleanly(t *testing.T) {
+	s := testStore(t, Config{BlockSize: 32})
+	r := io.MultiReader(bytes.NewReader(payload(2000, 33)), iotest.ErrReader(errors.New("link dropped")))
+	if _, err := s.PutReader("obj", r); err == nil {
+		t.Fatal("stream error swallowed")
+	}
+	// The partial object must be gone.
+	if _, err := s.Stat("obj"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("partial object survives: %v", err)
+	}
+	// And the name is reusable.
+	if _, err := s.PutReader("obj", strings.NewReader("retry")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutReaderDuplicate(t *testing.T) {
+	s := testStore(t, Config{BlockSize: 32})
+	if _, err := s.PutReader("obj", strings.NewReader("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PutReader("obj", strings.NewReader("y")); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate = %v", err)
+	}
+}
+
+func TestGetWriterSurvivesFailures(t *testing.T) {
+	s := testStore(t, Config{BlockSize: 32})
+	data := payload(4000, 34)
+	if _, err := s.PutReader("obj", bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	s.Devices()[3].Fail()
+	s.Devices()[60].Fail()
+	var out bytes.Buffer
+	if _, _, err := s.GetWriter("obj", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Error("streamed reconstruction mismatch")
+	}
+}
+
+func TestGetWriterPropagatesSinkError(t *testing.T) {
+	s := testStore(t, Config{BlockSize: 32})
+	if _, err := s.PutReader("obj", bytes.NewReader(payload(100, 35))); err != nil {
+		t.Fatal(err)
+	}
+	w := &failingWriter{}
+	if _, _, err := s.GetWriter("obj", w); err == nil {
+		t.Error("sink error swallowed")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write(p []byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestGetWriterMissing(t *testing.T) {
+	s := testStore(t, Config{BlockSize: 32})
+	var out bytes.Buffer
+	if _, _, err := s.GetWriter("nope", &out); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v", err)
+	}
+}

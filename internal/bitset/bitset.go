@@ -1,0 +1,233 @@
+// Package bitset provides a compact fixed-capacity bit set used to track
+// node liveness (present / erased) during erasure-graph peeling and during
+// combinatorial worst-case searches.
+//
+// The set is a thin wrapper over a []uint64 word slice. All operations are
+// allocation-free except New and Clone so that the decoding hot loop can run
+// millions of cases per second.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Set is a fixed-capacity bit set. The zero value is unusable; construct
+// with New.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns a Set capable of holding n bits, all initially clear.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity of the set in bits.
+func (s *Set) Len() int { return s.n }
+
+// Test reports whether bit i is set.
+func (s *Set) Test(i int) bool {
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Set sets bit i.
+func (s *Set) Set(i int) {
+	s.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) {
+	s.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// SetAll sets every bit in [0, Len).
+func (s *Set) SetAll() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// ClearAll clears every bit.
+func (s *Set) ClearAll() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// trim zeroes the bits above n in the final word so Count and Equal see a
+// canonical representation.
+func (s *Set) trim() {
+	if rem := uint(s.n) & 63; rem != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << rem) - 1
+	}
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether at least one bit is set.
+func (s *Set) Any() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// All reports whether every bit in [0, Len) is set.
+func (s *Set) All() bool {
+	return s.Count() == s.n
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return &Set{words: w, n: s.n}
+}
+
+// CopyFrom overwrites s with the contents of other. The two sets must have
+// the same capacity.
+func (s *Set) CopyFrom(other *Set) {
+	if s.n != other.n {
+		panic("bitset: CopyFrom size mismatch")
+	}
+	copy(s.words, other.words)
+}
+
+// Equal reports whether s and other hold exactly the same bits.
+func (s *Set) Equal(other *Set) bool {
+	if s.n != other.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionWith sets s = s ∪ other.
+func (s *Set) UnionWith(other *Set) {
+	if s.n != other.n {
+		panic("bitset: UnionWith size mismatch")
+	}
+	for i := range s.words {
+		s.words[i] |= other.words[i]
+	}
+}
+
+// IntersectWith sets s = s ∩ other.
+func (s *Set) IntersectWith(other *Set) {
+	if s.n != other.n {
+		panic("bitset: IntersectWith size mismatch")
+	}
+	for i := range s.words {
+		s.words[i] &= other.words[i]
+	}
+}
+
+// DifferenceWith sets s = s \ other.
+func (s *Set) DifferenceWith(other *Set) {
+	if s.n != other.n {
+		panic("bitset: DifferenceWith size mismatch")
+	}
+	for i := range s.words {
+		s.words[i] &^= other.words[i]
+	}
+}
+
+// NextSet returns the index of the first set bit at or after i, or -1 if
+// there is none.
+func (s *Set) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i >> 6
+	w := s.words[wi] >> (uint(i) & 63)
+	if w != 0 {
+		r := i + bits.TrailingZeros64(w)
+		if r < s.n {
+			return r
+		}
+		return -1
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			r := wi<<6 + bits.TrailingZeros64(s.words[wi])
+			if r < s.n {
+				return r
+			}
+			return -1
+		}
+	}
+	return -1
+}
+
+// Members appends the indices of all set bits to dst and returns it.
+func (s *Set) Members(dst []int) []int {
+	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
+		dst = append(dst, i)
+	}
+	return dst
+}
+
+// SetMany sets every index in idx.
+func (s *Set) SetMany(idx []int) {
+	for _, i := range idx {
+		s.Set(i)
+	}
+}
+
+// ClearMany clears every index in idx.
+func (s *Set) ClearMany(idx []int) {
+	for _, i := range idx {
+		s.Clear(i)
+	}
+}
+
+// CountRange returns the number of set bits in the half-open range [lo, hi).
+func (s *Set) CountRange(lo, hi int) int {
+	if lo < 0 || hi > s.n || lo > hi {
+		panic(fmt.Sprintf("bitset: CountRange [%d,%d) out of bounds for size %d", lo, hi, s.n))
+	}
+	c := 0
+	for i := s.NextSet(lo); i >= 0 && i < hi; i = s.NextSet(i + 1) {
+		c++
+	}
+	return c
+}
+
+// String renders the set as a list of set-bit indices, e.g. "{3 17 48}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
+		if !first {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", i)
+		first = false
+	}
+	b.WriteByte('}')
+	return b.String()
+}

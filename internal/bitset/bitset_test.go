@@ -1,0 +1,306 @@
+package bitset
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndLen(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 96, 128, 1000} {
+		s := New(n)
+		if s.Len() != n {
+			t.Errorf("New(%d).Len() = %d", n, s.Len())
+		}
+		if s.Count() != 0 {
+			t.Errorf("New(%d).Count() = %d, want 0", n, s.Count())
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetTestClear(t *testing.T) {
+	s := New(96)
+	for _, i := range []int{0, 1, 47, 48, 63, 64, 95} {
+		if s.Test(i) {
+			t.Errorf("bit %d set in fresh set", i)
+		}
+		s.Set(i)
+		if !s.Test(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+		s.Clear(i)
+		if s.Test(i) {
+			t.Errorf("bit %d still set after Clear", i)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	s := New(96)
+	idx := []int{0, 5, 63, 64, 95}
+	s.SetMany(idx)
+	if got := s.Count(); got != len(idx) {
+		t.Errorf("Count = %d, want %d", got, len(idx))
+	}
+	s.ClearMany(idx[:2])
+	if got := s.Count(); got != 3 {
+		t.Errorf("Count after ClearMany = %d, want 3", got)
+	}
+}
+
+func TestSetAllRespectsLen(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 96} {
+		s := New(n)
+		s.SetAll()
+		if got := s.Count(); got != n {
+			t.Errorf("SetAll on size %d: Count = %d", n, got)
+		}
+		if !s.All() {
+			t.Errorf("SetAll on size %d: All() = false", n)
+		}
+	}
+}
+
+func TestClearAll(t *testing.T) {
+	s := New(96)
+	s.SetAll()
+	s.ClearAll()
+	if s.Any() {
+		t.Error("Any() true after ClearAll")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := New(96)
+	s.Set(10)
+	c := s.Clone()
+	c.Set(20)
+	if s.Test(20) {
+		t.Error("mutating clone affected original")
+	}
+	if !c.Test(10) {
+		t.Error("clone missing original bit")
+	}
+}
+
+func TestCopyFromAndEqual(t *testing.T) {
+	a, b := New(96), New(96)
+	a.SetMany([]int{1, 2, 3, 90})
+	b.CopyFrom(a)
+	if !a.Equal(b) {
+		t.Error("CopyFrom did not produce Equal sets")
+	}
+	b.Clear(90)
+	if a.Equal(b) {
+		t.Error("Equal true after divergence")
+	}
+	c := New(97)
+	if a.Equal(c) {
+		t.Error("Equal true across differing sizes")
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a, b := New(96), New(96)
+	a.SetMany([]int{1, 2, 3})
+	b.SetMany([]int{3, 4, 5})
+
+	u := a.Clone()
+	u.UnionWith(b)
+	if got := u.Members(nil); len(got) != 5 {
+		t.Errorf("union members = %v", got)
+	}
+
+	i := a.Clone()
+	i.IntersectWith(b)
+	if got := i.Members(nil); len(got) != 1 || got[0] != 3 {
+		t.Errorf("intersect members = %v, want [3]", got)
+	}
+
+	d := a.Clone()
+	d.DifferenceWith(b)
+	if got := d.Members(nil); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("difference members = %v, want [1 2]", got)
+	}
+}
+
+func TestSetOpSizeMismatchPanics(t *testing.T) {
+	a, b := New(8), New(9)
+	for name, f := range map[string]func(){
+		"UnionWith":      func() { a.UnionWith(b) },
+		"IntersectWith":  func() { a.IntersectWith(b) },
+		"DifferenceWith": func() { a.DifferenceWith(b) },
+		"CopyFrom":       func() { a.CopyFrom(b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s size mismatch did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	s := New(130)
+	idx := []int{0, 63, 64, 100, 129}
+	s.SetMany(idx)
+	var got []int
+	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
+		got = append(got, i)
+	}
+	if len(got) != len(idx) {
+		t.Fatalf("NextSet walk = %v, want %v", got, idx)
+	}
+	for i := range idx {
+		if got[i] != idx[i] {
+			t.Fatalf("NextSet walk = %v, want %v", got, idx)
+		}
+	}
+	if s.NextSet(130) != -1 {
+		t.Error("NextSet past end != -1")
+	}
+	if s.NextSet(-5) != 0 {
+		t.Error("NextSet with negative start should clamp to 0")
+	}
+}
+
+func TestCountRange(t *testing.T) {
+	s := New(96)
+	s.SetMany([]int{0, 10, 47, 48, 95})
+	if got := s.CountRange(0, 48); got != 3 {
+		t.Errorf("CountRange(0,48) = %d, want 3", got)
+	}
+	if got := s.CountRange(48, 96); got != 2 {
+		t.Errorf("CountRange(48,96) = %d, want 2", got)
+	}
+	if got := s.CountRange(10, 10); got != 0 {
+		t.Errorf("CountRange empty = %d, want 0", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(96)
+	s.SetMany([]int{3, 17, 48})
+	if got := s.String(); got != "{3 17 48}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := New(4).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+// Property: for any list of indices, Members returns exactly the distinct
+// sorted indices that were set.
+func TestQuickSetMembersRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const n = 500
+		s := New(n)
+		want := map[int]bool{}
+		for _, r := range raw {
+			i := int(r) % n
+			s.Set(i)
+			want[i] = true
+		}
+		got := s.Members(nil)
+		if len(got) != len(want) {
+			return false
+		}
+		prev := -1
+		for _, i := range got {
+			if !want[i] || i <= prev {
+				return false
+			}
+			prev = i
+		}
+		return s.Count() == len(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: union/intersection/difference agree with map-based set algebra.
+func TestQuickSetAlgebra(t *testing.T) {
+	f := func(xa, xb []uint16) bool {
+		const n = 300
+		a, b := New(n), New(n)
+		ma, mb := map[int]bool{}, map[int]bool{}
+		for _, r := range xa {
+			a.Set(int(r) % n)
+			ma[int(r)%n] = true
+		}
+		for _, r := range xb {
+			b.Set(int(r) % n)
+			mb[int(r)%n] = true
+		}
+		u := a.Clone()
+		u.UnionWith(b)
+		i := a.Clone()
+		i.IntersectWith(b)
+		d := a.Clone()
+		d.DifferenceWith(b)
+		for k := 0; k < n; k++ {
+			if u.Test(k) != (ma[k] || mb[k]) {
+				return false
+			}
+			if i.Test(k) != (ma[k] && mb[k]) {
+				return false
+			}
+			if d.Test(k) != (ma[k] && !mb[k]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNextSetConsistentWithTest(t *testing.T) {
+	f := func(seed uint64, density uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		const n = 200
+		s := New(n)
+		p := float64(density%100) / 100
+		for i := 0; i < n; i++ {
+			if rng.Float64() < p {
+				s.Set(i)
+			}
+		}
+		// Walk via NextSet and via Test; must agree.
+		var a, b []int
+		for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
+			a = append(a, i)
+		}
+		for i := 0; i < n; i++ {
+			if s.Test(i) {
+				b = append(b, i)
+			}
+		}
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,220 @@
+// Package combin supplies the combinatorial machinery behind the fault
+// tolerance testing system: exact and floating-point binomial coefficients,
+// lexicographic enumeration of k-combinations (used by the exhaustive
+// worst-case search over (96 choose k) erasure patterns), combination
+// ranking/unranking (used to stripe the exhaustive search across workers),
+// and uniform random k-subset sampling (used by the Monte Carlo profiles).
+package combin
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"math/rand/v2"
+)
+
+// Binomial returns C(n, k) as a float64. It is exact for results that fit a
+// float64 mantissa and a close approximation beyond; for exact arithmetic use
+// BinomialBig. Binomial returns 0 for k < 0 or k > n.
+func Binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r *= float64(n-i) / float64(i+1)
+	}
+	return r
+}
+
+// BinomialBig returns C(n, k) exactly. It returns 0 for k < 0 or k > n.
+func BinomialBig(n, k int) *big.Int {
+	if k < 0 || k > n {
+		return big.NewInt(0)
+	}
+	return new(big.Int).Binomial(int64(n), int64(k))
+}
+
+// BinomialInt64 returns C(n, k) as an int64 and reports whether the value
+// fits without overflow.
+func BinomialInt64(n, k int) (int64, bool) {
+	b := BinomialBig(n, k)
+	if !b.IsInt64() {
+		return 0, false
+	}
+	return b.Int64(), true
+}
+
+// LogBinomial returns ln C(n, k), using the log-gamma function so very large
+// coefficients (e.g. C(96,48)) stay representable.
+func LogBinomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x + 1))
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}
+
+// First fills idx with the lexicographically first k-combination of
+// {0,…,n-1}, i.e. [0,1,…,k-1]. len(idx) determines k; it must satisfy
+// 0 <= k <= n.
+func First(idx []int, n int) {
+	if len(idx) > n {
+		panic(fmt.Sprintf("combin: k=%d exceeds n=%d", len(idx), n))
+	}
+	for i := range idx {
+		idx[i] = i
+	}
+}
+
+// Next advances idx to the next k-combination of {0,…,n-1} in lexicographic
+// order, returning false when idx already holds the final combination
+// [n-k,…,n-1]. idx must hold a valid combination (strictly increasing values
+// in range).
+func Next(idx []int, n int) bool {
+	k := len(idx)
+	for i := k - 1; i >= 0; i-- {
+		if idx[i] < n-k+i {
+			idx[i]++
+			for j := i + 1; j < k; j++ {
+				idx[j] = idx[j-1] + 1
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Rank returns the zero-based lexicographic rank of the combination idx
+// among all k-combinations of {0,…,n-1}.
+func Rank(idx []int, n int) int64 {
+	k := len(idx)
+	var rank int64
+	prev := -1
+	for i, v := range idx {
+		for x := prev + 1; x < v; x++ {
+			c, ok := BinomialInt64(n-x-1, k-i-1)
+			if !ok {
+				panic("combin: Rank overflow; use big-int path")
+			}
+			rank += c
+		}
+		prev = v
+	}
+	return rank
+}
+
+// Unrank fills idx with the combination of {0,…,n-1} whose zero-based
+// lexicographic rank is r. len(idx) determines k.
+func Unrank(idx []int, n int, r int64) {
+	k := len(idx)
+	x := 0
+	for i := 0; i < k; i++ {
+		for {
+			c, ok := BinomialInt64(n-x-1, k-i-1)
+			if !ok {
+				panic("combin: Unrank overflow; use big-int path")
+			}
+			if r < c {
+				break
+			}
+			r -= c
+			x++
+		}
+		idx[i] = x
+		x++
+	}
+	if r != 0 {
+		panic("combin: Unrank rank out of range")
+	}
+}
+
+// RandomSubset fills idx with a uniformly random k-subset of {0,…,n-1} in
+// increasing order using Floyd's algorithm. The scratch map avoids
+// allocation across calls when reused; pass nil to allocate internally.
+func RandomSubset(idx []int, n int, rng *rand.Rand, scratch map[int]bool) {
+	k := len(idx)
+	if k > n {
+		panic(fmt.Sprintf("combin: k=%d exceeds n=%d", k, n))
+	}
+	if scratch == nil {
+		scratch = make(map[int]bool, k)
+	} else {
+		clear(scratch)
+	}
+	i := 0
+	for j := n - k; j < n; j++ {
+		t := rng.IntN(j + 1)
+		if scratch[t] {
+			t = j
+		}
+		scratch[t] = true
+		idx[i] = t
+		i++
+	}
+	// Floyd's algorithm yields an unordered set; sort in place (k is small).
+	insertionSort(idx)
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// ForEach enumerates every k-combination of {0,…,n-1} in lexicographic
+// order, invoking fn with a reused slice (fn must not retain it). It stops
+// early and returns false if fn returns false; otherwise returns true after
+// full enumeration.
+func ForEach(n, k int, fn func(idx []int) bool) bool {
+	if k == 0 {
+		return fn(nil)
+	}
+	idx := make([]int, k)
+	First(idx, n)
+	for {
+		if !fn(idx) {
+			return false
+		}
+		if !Next(idx, n) {
+			return true
+		}
+	}
+}
+
+// SplitRanges divides the rank space [0, total) into at most parts
+// contiguous half-open ranges of near-equal size for parallel exhaustive
+// searches. Empty ranges are omitted.
+func SplitRanges(total int64, parts int) [][2]int64 {
+	if parts < 1 {
+		parts = 1
+	}
+	var out [][2]int64
+	chunk := total / int64(parts)
+	rem := total % int64(parts)
+	var lo int64
+	for i := 0; i < parts; i++ {
+		size := chunk
+		if int64(i) < rem {
+			size++
+		}
+		if size == 0 {
+			continue
+		}
+		out = append(out, [2]int64{lo, lo + size})
+		lo += size
+	}
+	return out
+}

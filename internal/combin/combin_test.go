@@ -1,0 +1,260 @@
+package combin
+
+import (
+	"math"
+	"math/big"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialSmall(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {5, 2, 10}, {96, 1, 96},
+		{96, 2, 4560}, {96, 3, 142880}, {96, 4, 3321960},
+		{96, 5, 61124064}, {10, 11, 0}, {10, -1, 0},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); math.Abs(got-c.want) > 1e-6*math.Max(1, c.want) {
+			t.Errorf("Binomial(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestBinomialBigMatchesFloat(t *testing.T) {
+	for n := 0; n <= 60; n++ {
+		for k := 0; k <= n; k++ {
+			bf, _ := new(big.Float).SetInt(BinomialBig(n, k)).Float64()
+			if rel := math.Abs(bf-Binomial(n, k)) / math.Max(1, bf); rel > 1e-9 {
+				t.Fatalf("Binomial(%d,%d) float %v vs big %v", n, k, Binomial(n, k), bf)
+			}
+		}
+	}
+}
+
+func TestBinomialInt64(t *testing.T) {
+	v, ok := BinomialInt64(96, 5)
+	if !ok || v != 61124064 {
+		t.Errorf("BinomialInt64(96,5) = %d,%v", v, ok)
+	}
+	if _, ok := BinomialInt64(200, 100); ok {
+		t.Error("BinomialInt64(200,100) should overflow int64")
+	}
+}
+
+func TestLogBinomial(t *testing.T) {
+	if got, want := LogBinomial(96, 5), math.Log(61124064); math.Abs(got-want) > 1e-9 {
+		t.Errorf("LogBinomial(96,5) = %v, want %v", got, want)
+	}
+	if !math.IsInf(LogBinomial(5, 6), -1) {
+		t.Error("LogBinomial out of range should be -Inf")
+	}
+	// C(96,48) ≈ e^63.5; check against big-int computation.
+	f, _ := new(big.Float).SetInt(BinomialBig(96, 48)).Float64()
+	if math.Abs(LogBinomial(96, 48)-math.Log(f)) > 1e-6 {
+		t.Errorf("LogBinomial(96,48) = %v, want %v", LogBinomial(96, 48), math.Log(f))
+	}
+}
+
+func TestFirstNext(t *testing.T) {
+	idx := make([]int, 3)
+	First(idx, 5)
+	var all [][3]int
+	for {
+		all = append(all, [3]int{idx[0], idx[1], idx[2]})
+		if !Next(idx, 5) {
+			break
+		}
+	}
+	if len(all) != 10 {
+		t.Fatalf("enumerated %d combinations of C(5,3), want 10", len(all))
+	}
+	if all[0] != [3]int{0, 1, 2} || all[9] != [3]int{2, 3, 4} {
+		t.Errorf("endpoints wrong: %v … %v", all[0], all[9])
+	}
+	// Strictly increasing lexicographic order.
+	for i := 1; i < len(all); i++ {
+		if !lexLess(all[i-1][:], all[i][:]) {
+			t.Errorf("combination %v not < %v", all[i-1], all[i])
+		}
+	}
+}
+
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func TestRankUnrankRoundTrip(t *testing.T) {
+	n, k := 12, 4
+	total, _ := BinomialInt64(n, k)
+	idx := make([]int, k)
+	for r := int64(0); r < total; r++ {
+		Unrank(idx, n, r)
+		if got := Rank(idx, n); got != r {
+			t.Fatalf("Rank(Unrank(%d)) = %d", r, got)
+		}
+	}
+}
+
+func TestEnumerationMatchesUnrank(t *testing.T) {
+	n, k := 10, 3
+	idx := make([]int, k)
+	First(idx, n)
+	u := make([]int, k)
+	r := int64(0)
+	for {
+		Unrank(u, n, r)
+		for i := range idx {
+			if idx[i] != u[i] {
+				t.Fatalf("rank %d: Next gives %v, Unrank gives %v", r, idx, u)
+			}
+		}
+		r++
+		if !Next(idx, n) {
+			break
+		}
+	}
+	if total, _ := BinomialInt64(n, k); r != total {
+		t.Fatalf("enumerated %d, want %d", r, total)
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	count := 0
+	done := ForEach(6, 2, func(idx []int) bool {
+		count++
+		return count < 5
+	})
+	if done || count != 5 {
+		t.Errorf("ForEach early stop: done=%v count=%d", done, count)
+	}
+	count = 0
+	done = ForEach(6, 2, func(idx []int) bool { count++; return true })
+	if !done || count != 15 {
+		t.Errorf("ForEach full: done=%v count=%d, want 15", done, count)
+	}
+}
+
+func TestForEachZeroK(t *testing.T) {
+	count := 0
+	ForEach(5, 0, func(idx []int) bool {
+		if len(idx) != 0 {
+			t.Errorf("k=0 got idx %v", idx)
+		}
+		count++
+		return true
+	})
+	if count != 1 {
+		t.Errorf("k=0 enumerated %d, want 1", count)
+	}
+}
+
+func TestRandomSubsetValidity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	idx := make([]int, 5)
+	scratch := make(map[int]bool, 5)
+	for trial := 0; trial < 200; trial++ {
+		RandomSubset(idx, 96, rng, scratch)
+		for i := 0; i < len(idx); i++ {
+			if idx[i] < 0 || idx[i] >= 96 {
+				t.Fatalf("element %d out of range", idx[i])
+			}
+			if i > 0 && idx[i] <= idx[i-1] {
+				t.Fatalf("subset not strictly increasing: %v", idx)
+			}
+		}
+	}
+}
+
+func TestRandomSubsetUniformity(t *testing.T) {
+	// Each element of {0..9} should appear in a size-3 subset with
+	// probability 3/10. Chi-square-ish sanity check over many draws.
+	rng := rand.New(rand.NewPCG(7, 7))
+	counts := make([]int, 10)
+	idx := make([]int, 3)
+	const trials = 30000
+	for i := 0; i < trials; i++ {
+		RandomSubset(idx, 10, rng, nil)
+		for _, v := range idx {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * 0.3
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("element %d appeared %d times, want ≈%.0f", v, c, want)
+		}
+	}
+}
+
+func TestRandomSubsetFull(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	idx := make([]int, 7)
+	RandomSubset(idx, 7, rng, nil)
+	for i, v := range idx {
+		if v != i {
+			t.Fatalf("k=n subset = %v, want identity", idx)
+		}
+	}
+}
+
+func TestSplitRanges(t *testing.T) {
+	rs := SplitRanges(10, 3)
+	if len(rs) != 3 {
+		t.Fatalf("got %d ranges", len(rs))
+	}
+	var covered int64
+	prev := int64(0)
+	for _, r := range rs {
+		if r[0] != prev {
+			t.Errorf("range gap: %v", rs)
+		}
+		covered += r[1] - r[0]
+		prev = r[1]
+	}
+	if covered != 10 {
+		t.Errorf("covered %d, want 10", covered)
+	}
+	if rs := SplitRanges(2, 5); len(rs) != 2 {
+		t.Errorf("SplitRanges(2,5) = %v", rs)
+	}
+	if rs := SplitRanges(0, 3); len(rs) != 0 {
+		t.Errorf("SplitRanges(0,3) = %v", rs)
+	}
+}
+
+// Property: Rank is a bijection onto [0, C(n,k)) for random combinations.
+func TestQuickRankBijective(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 99))
+		n := 5 + r.IntN(20)
+		k := 1 + r.IntN(n)
+		idx := make([]int, k)
+		RandomSubset(idx, n, rng, nil)
+		rank := Rank(idx, n)
+		total, _ := BinomialInt64(n, k)
+		if rank < 0 || rank >= total {
+			return false
+		}
+		back := make([]int, k)
+		Unrank(back, n, rank)
+		for i := range idx {
+			if back[i] != idx[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"tornado/internal/dist"
+)
+
+func TestCustomLeftDistUsed(t *testing.T) {
+	p := DefaultParams()
+	p.LeftDist = func(maxDeg int) dist.Dist {
+		return dist.Uniform(min(3, maxDeg))
+	}
+	g, err := GenerateUnscreened(p, rand.New(rand.NewPCG(1, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.Data; v++ {
+		if g.Degree(v) != 3 {
+			t.Fatalf("data node %d degree %d, want 3", v, g.Degree(v))
+		}
+	}
+}
+
+func TestCustomLeftDistTooWideRejected(t *testing.T) {
+	p := DefaultParams()
+	p.LeftDist = func(maxDeg int) dist.Dist {
+		// Deliberately ignore the cap.
+		return dist.Uniform(maxDeg + 5)
+	}
+	_, err := GenerateUnscreened(p, rand.New(rand.NewPCG(2, 2)))
+	if err == nil || !strings.Contains(err.Error(), "max degree") {
+		t.Errorf("err = %v, want max-degree rejection", err)
+	}
+}
+
+func TestGenerateMaxAttemptsClamped(t *testing.T) {
+	p := DefaultParams()
+	p.MaxAttempts = 0 // must be clamped to at least one attempt
+	if _, _, err := Generate(p, rand.New(rand.NewPCG(3, 3))); err != nil {
+		t.Fatalf("MaxAttempts=0: %v", err)
+	}
+}
+
+func TestGenerateNegativeRepairRounds(t *testing.T) {
+	p := DefaultParams()
+	p.RepairRounds = -5 // clamped to 0: accept only naturally clean graphs
+	p.MaxAttempts = 500
+	g, st, err := Generate(p, rand.New(rand.NewPCG(4, 4)))
+	if err != nil {
+		t.Skip("no naturally clean graph in 500 attempts (rare but possible)")
+	}
+	if st.Rewires != 0 {
+		t.Errorf("rewires = %d with repair disabled", st.Rewires)
+	}
+	if g.Validate() != nil {
+		t.Error("invalid graph")
+	}
+}
+
+func TestPlanLevelsMinFinalVariants(t *testing.T) {
+	p := DefaultParams()
+	p.TotalNodes = 96
+	p.MinFinalLeft = 4 // deeper cascade: 24 | 12 | 6 | 3+3
+	plan, err := PlanLevels(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{24, 12, 6, 3, 3}
+	if len(plan.CheckSizes) != len(want) {
+		t.Fatalf("CheckSizes = %v, want %v", plan.CheckSizes, want)
+	}
+	for i := range want {
+		if plan.CheckSizes[i] != want[i] {
+			t.Fatalf("CheckSizes = %v, want %v", plan.CheckSizes, want)
+		}
+	}
+}
+
+func TestGenerateDeepCascade(t *testing.T) {
+	p := DefaultParams()
+	p.MinFinalLeft = 4
+	g, _, err := Generate(p, rand.New(rand.NewPCG(5, 5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Levels) != 5 {
+		t.Fatalf("levels = %d, want 5", len(g.Levels))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math/rand/v2"
+
+	"tornado/internal/defect"
+	"tornado/internal/graph"
+)
+
+// RepairDefects removes closed data-node sets (paper §3.2: "these trivial
+// cases are easily detected and corrected") by rewiring, for each finding,
+// one member's edge from a sealing check to a check outside the sealed set.
+// The rewire makes some check adjacent to exactly one member of the set,
+// which opens it; the rescan loop catches any new closed set the rewire
+// introduces. It reports whether the graph is clean after at most maxRounds
+// rewires, and the number of rewires performed.
+func RepairDefects(g *graph.Graph, maxSize, maxRounds int, rng *rand.Rand) (bool, int) {
+	lv := g.Levels[0]
+	rewires := 0
+	for round := 0; round < maxRounds; round++ {
+		fs := defect.ScanDataLevel(g, maxSize)
+		if len(fs) == 0 {
+			return true, rewires
+		}
+		f := fs[rng.IntN(len(fs))]
+		if !rewireOpen(g, lv, f, rng) {
+			return false, rewires
+		}
+		rewires++
+	}
+	return len(defect.ScanDataLevel(g, maxSize)) == 0, rewires
+}
+
+// rewireOpen breaks one closed set by moving a random member's edge off a
+// random sealing check onto a level-0 check outside the sealed set that is
+// not already a neighbor. It returns false when no candidate replacement
+// exists (a pathologically dense level).
+func rewireOpen(g *graph.Graph, lv graph.Level, f defect.Finding, rng *rand.Rand) bool {
+	sealed := make(map[int]bool, len(f.Rights))
+	for _, r := range f.Rights {
+		sealed[r] = true
+	}
+	lefts := rng.Perm(len(f.Lefts))
+	for _, i := range lefts {
+		l := f.Lefts[i]
+		// The member's checks inside the sealed set, one of which will be
+		// dropped.
+		var fromChoices []int
+		for _, r := range g.Parents(l) {
+			if sealed[int(r)] {
+				fromChoices = append(fromChoices, int(r))
+			}
+		}
+		if len(fromChoices) == 0 {
+			continue
+		}
+		from := fromChoices[rng.IntN(len(fromChoices))]
+		// Candidate replacements: level-0 checks outside the sealed set
+		// that do not already reference l. Prefer low-degree checks so the
+		// rewire does not starve other nodes' recovery options.
+		var to []int
+		for r := lv.RightFirst; r < lv.RightFirst+lv.RightCount; r++ {
+			if sealed[r] || g.HasEdge(r, l) {
+				continue
+			}
+			to = append(to, r)
+		}
+		if len(to) == 0 {
+			continue
+		}
+		best := to[rng.IntN(len(to))]
+		for _, r := range to {
+			if g.RightDegree(r) < g.RightDegree(best) {
+				best = r
+			}
+		}
+		// Keep the donor check non-empty.
+		if g.RightDegree(from) <= 1 {
+			continue
+		}
+		g.RewireEdge(l, from, best)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,110 @@
+// Package defect implements the structural defect detection of paper §3.2
+// and §3.3: randomly generated Tornado graphs occasionally contain small
+// "closed sets" — sets of left nodes whose right (check) neighbors all have
+// at least two neighbors inside the set. Losing such a left set is
+// unrecoverable even when every other node in the graph is present, because
+// each covering check is permanently short two or more inputs (e.g. the
+// paper's "17 [48, 57] / 22 [48, 57]" example, a worst case of two).
+//
+// The scan enumerates candidate left subsets of the data level up to a
+// configurable size and reports each minimal closed set found. Graph
+// generation discards graphs with findings; the adjustment procedure uses
+// the same condition when choosing replacement edges.
+package defect
+
+import (
+	"fmt"
+	"slices"
+
+	"tornado/internal/combin"
+	"tornado/internal/graph"
+)
+
+// Finding describes one closed left-node set and the right nodes that seal
+// it.
+type Finding struct {
+	Lefts  []int // the closed left set, ascending
+	Rights []int // every check adjacent to the set (each has >=2 neighbors in it), ascending
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("closed set: lefts %v sealed by rights %v", f.Lefts, f.Rights)
+}
+
+// IsClosedSet reports whether the left-node set S (node IDs) is closed in
+// g: every right node adjacent to a member of S has at least two neighbors
+// in S. It returns the sealing right nodes when true.
+func IsClosedSet(g *graph.Graph, S []int) ([]int, bool) {
+	counts := map[int32]int{}
+	for _, l := range S {
+		for _, r := range g.Parents(l) {
+			counts[r]++
+		}
+	}
+	rights := make([]int, 0, len(counts))
+	for r, c := range counts {
+		if c < 2 {
+			return nil, false
+		}
+		rights = append(rights, int(r))
+	}
+	if len(rights) == 0 {
+		return nil, false // isolated nodes are a coverage error, not a closed set
+	}
+	slices.Sort(rights)
+	return rights, true
+}
+
+// ScanDataLevel enumerates subsets of the data nodes of size 2..maxSize and
+// returns every minimal closed set (subsets containing an already-reported
+// set are skipped). maxSize is clamped to the data node count.
+func ScanDataLevel(g *graph.Graph, maxSize int) []Finding {
+	var findings []Finding
+	if maxSize > g.Data {
+		maxSize = g.Data
+	}
+	containsFound := func(S []int) bool {
+		for _, f := range findings {
+			if subset(f.Lefts, S) {
+				return true
+			}
+		}
+		return false
+	}
+	for size := 2; size <= maxSize; size++ {
+		combin.ForEach(g.Data, size, func(idx []int) bool {
+			if containsFound(idx) {
+				return true
+			}
+			if rights, ok := IsClosedSet(g, idx); ok {
+				findings = append(findings, Finding{
+					Lefts:  slices.Clone(idx),
+					Rights: rights,
+				})
+			}
+			return true
+		})
+	}
+	return findings
+}
+
+// subset reports whether every element of a (sorted) appears in b (sorted).
+func subset(a, b []int) bool {
+	i := 0
+	for _, v := range b {
+		if i < len(a) && a[i] == v {
+			i++
+		}
+	}
+	return i == len(a)
+}
+
+// Screen returns an error describing the first structural defect found in
+// the data level, or nil when the graph passes. It is the generation-time
+// gate of paper §3.3 ("graphs that fail are discarded").
+func Screen(g *graph.Graph, maxSize int) error {
+	if fs := ScanDataLevel(g, maxSize); len(fs) > 0 {
+		return fmt.Errorf("defect: %v (and %d more)", fs[0], len(fs)-1)
+	}
+	return nil
+}

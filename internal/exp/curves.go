@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CurvesCSV renders the failure-fraction curves of the given systems as
+// CSV: one row per offline-node count, one column per system. This is the
+// data behind Figures 3–6 (fraction of reconstruction failures by number
+// of missing nodes).
+func CurvesCSV(systems []System) string {
+	if len(systems) == 0 {
+		return ""
+	}
+	n := systems[0].Devices
+	var b strings.Builder
+	b.WriteString("offline")
+	for _, s := range systems {
+		b.WriteString(",")
+		b.WriteString(strings.ReplaceAll(s.Name, ",", ";"))
+	}
+	b.WriteByte('\n')
+	for k := 0; k <= n; k++ {
+		fmt.Fprintf(&b, "%d", k)
+		for _, s := range systems {
+			fmt.Fprintf(&b, ",%.6g", s.FailGivenK(k))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CurveSummary renders a coarse text preview of the curves (every 8th
+// point) for terminal output.
+func CurveSummary(systems []System) string {
+	if len(systems) == 0 {
+		return ""
+	}
+	header := []string{"offline"}
+	for _, s := range systems {
+		header = append(header, s.Name)
+	}
+	var rows [][]string
+	for k := 0; k <= systems[0].Devices; k += 8 {
+		row := []string{fmt.Sprintf("%d", k)}
+		for _, s := range systems {
+			row = append(row, fmt.Sprintf("%.4f", s.FailGivenK(k)))
+		}
+		rows = append(rows, row)
+	}
+	return renderTable("Failure fraction by offline nodes (every 8th point)", header, rows)
+}

@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableOverhead(t *testing.T) {
+	cfg := tinyConfig()
+	text, means, err := TableOverhead(cfg, prepare(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "Overhead") {
+		t.Errorf("table:\n%s", text)
+	}
+	if len(means) != 3 {
+		t.Fatalf("means: %v", means)
+	}
+	for i, m := range means {
+		// Minimum retrieval count lies between the data count and the
+		// total node count.
+		if m < 48 || m > 96 {
+			t.Errorf("graph %d mean retrievals = %v", i+1, m)
+		}
+	}
+}
+
+func TestTableMTTDL(t *testing.T) {
+	cfg := tinyConfig()
+	text, noRepair, err := TableMTTDL(cfg, prepare(t), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "no repair") || !strings.Contains(text, "rebuild") {
+		t.Errorf("table:\n%s", text)
+	}
+	// Shape: tornado graphs dominate mirroring which dominates striping.
+	if noRepair["Striping"] >= noRepair["Mirrored"] {
+		t.Errorf("striping MTTDL %v >= mirrored %v", noRepair["Striping"], noRepair["Mirrored"])
+	}
+	for _, tg := range prepare(t) {
+		if noRepair[tg.Name] <= noRepair["Mirrored"] {
+			t.Errorf("%s MTTDL %v <= mirrored %v", tg.Name, noRepair[tg.Name], noRepair["Mirrored"])
+		}
+	}
+}
+
+func TestTableLEC(t *testing.T) {
+	cfg := tinyConfig()
+	text, systems, err := TableLEC(cfg, prepare(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "LEC-style") || !strings.Contains(text, "(best)") {
+		t.Errorf("table:\n%s", text)
+	}
+	if len(systems) != 2 {
+		t.Fatalf("systems: %v", systems)
+	}
+	// Both systems must produce sane averages.
+	for _, s := range systems {
+		if avg := s.AvgToReconstruct(); avg < 48 || avg > 96 {
+			t.Errorf("%s avg = %v", s.Name, avg)
+		}
+	}
+}
+
+func TestFormatYears(t *testing.T) {
+	for y, want := range map[float64]string{
+		0.5:   "0.5 y",
+		2000:  "2 ky",
+		3.2e6: "3.2 My",
+	} {
+		if got := formatYears(y); got != want {
+			t.Errorf("formatYears(%v) = %q, want %q", y, got, want)
+		}
+	}
+}

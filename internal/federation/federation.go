@@ -1,0 +1,138 @@
+// Package federation models the paper's multi-graph distributed archival
+// storage (§5.3, Table 7): every data block is replicated at two (or more)
+// sites, each site protects its replica with its own Tornado Code graph,
+// and sites exchange reconstructed blocks. Because each graph has different
+// critical left-node sets, complementary graphs survive failure patterns
+// that defeat either graph alone — "restoring just one critical data node
+// allows the data graph to be reconstructed even when both graphs cannot
+// independently perform the reconstruction".
+package federation
+
+import (
+	"fmt"
+
+	"tornado/internal/decode"
+	"tornado/internal/graph"
+)
+
+// System is a federated store: Sites[i] is the erasure graph protecting the
+// replica at site i. All graphs must agree on the data node count (they
+// protect the same logical blocks); device numbering is per-site.
+type System struct {
+	sites    []*graph.Graph
+	decoders []*decode.Decoder
+}
+
+// NewSystem builds a federation over the given site graphs.
+func NewSystem(sites ...*graph.Graph) (*System, error) {
+	if len(sites) < 2 {
+		return nil, fmt.Errorf("federation: need at least 2 sites, got %d", len(sites))
+	}
+	data := sites[0].Data
+	s := &System{sites: sites}
+	for i, g := range sites {
+		if g.Data != data {
+			return nil, fmt.Errorf("federation: site %d has %d data nodes, site 0 has %d", i, g.Data, data)
+		}
+		s.decoders = append(s.decoders, decode.New(g))
+	}
+	return s, nil
+}
+
+// Sites returns the number of sites.
+func (s *System) Sites() int { return len(s.sites) }
+
+// Data returns the shared logical data block count.
+func (s *System) Data() int { return s.sites[0].Data }
+
+// TotalDevices returns the total device count across sites.
+func (s *System) TotalDevices() int {
+	n := 0
+	for _, g := range s.sites {
+		n += g.Total
+	}
+	return n
+}
+
+// JointDecode evaluates a federation-wide failure: erased[i] lists the
+// offline devices at site i (graph-local node IDs). Sites peel
+// independently, then exchange every data block any site holds, repeating
+// to fixpoint. It returns whether all data survived and the lost blocks.
+func (s *System) JointDecode(erased [][]int) (ok bool, lost []int) {
+	if len(erased) != len(s.sites) {
+		panic(fmt.Sprintf("federation: %d erasure sets for %d sites", len(erased), len(s.sites)))
+	}
+	for i, d := range s.decoders {
+		d.Erase(erased[i]...)
+		d.Peel()
+	}
+	defer func() {
+		for _, d := range s.decoders {
+			d.Reset()
+		}
+	}()
+
+	data := s.Data()
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < data; v++ {
+			present := false
+			missing := false
+			for _, d := range s.decoders {
+				if d.Present(v) {
+					present = true
+				} else {
+					missing = true
+				}
+			}
+			if present && missing {
+				for _, d := range s.decoders {
+					d.Supply(v) // no-op where already present
+				}
+				changed = true
+			}
+		}
+		if changed {
+			for _, d := range s.decoders {
+				d.Peel()
+			}
+		}
+	}
+	for v := 0; v < data; v++ {
+		if !s.decoders[0].Present(v) {
+			// After exchange, a block missing at one site is missing at
+			// all sites.
+			lost = append(lost, v)
+		}
+	}
+	return len(lost) == 0, lost
+}
+
+// JointRecoverable reports whether the federation survives the given
+// per-site erasures.
+func (s *System) JointRecoverable(erased [][]int) bool {
+	ok, _ := s.JointDecode(erased)
+	return ok
+}
+
+// CriticalSet is a component-graph failure: erasing Erased at the owning
+// site loses the data blocks Lost.
+type CriticalSet struct {
+	Erased []int
+	Lost   []int
+}
+
+// CriticalSets expands failing erasure sets (as found by the exhaustive
+// worst-case search) into CriticalSets by decoding each one against g.
+func CriticalSets(g *graph.Graph, failures [][]int) []CriticalSet {
+	d := decode.New(g)
+	out := make([]CriticalSet, 0, len(failures))
+	for _, f := range failures {
+		res := d.Decode(f)
+		if res.OK {
+			continue // not actually a failure for this graph
+		}
+		out = append(out, CriticalSet{Erased: f, Lost: res.UnrecoveredData})
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package graphml
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"tornado/internal/core"
+)
+
+// FuzzDecode feeds arbitrary bytes to the GraphML parser: it must reject
+// malformed input with an error, never panic, and accept-and-revalidate
+// its own output.
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: a real graph, a truncation of it, and assorted junk.
+	g, _, err := core.Generate(core.DefaultParams(), rand.New(rand.NewPCG(1, 1)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.String()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add("")
+	f.Add("<graphml>")
+	f.Add(`<?xml version="1.0"?><graphml xmlns="` + xmlns + `"><graph id="x" edgedefault="directed"><data key="data">2</data><data key="levels">0:2:2:1</data><node id="n0"/><edge source="n2" target="n0"/></graph></graphml>`)
+	f.Add(strings.ReplaceAll(valid, "n48", "n9999"))
+
+	f.Fuzz(func(t *testing.T, doc string) {
+		g, err := Decode(strings.NewReader(doc))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Anything accepted must be a valid graph that round-trips.
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted invalid graph: %v", err)
+		}
+		var out bytes.Buffer
+		if err := Encode(&out, g); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if _, err := Decode(&out); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,316 @@
+// Package graphml serializes erasure graphs to and from GraphML, the
+// format the paper's testing system uses "to simplify graph visualization
+// and editing" (§3), and renders graphs to Graphviz DOT with failed nodes
+// highlighted (the paper's failed-graph rendering).
+//
+// The cascade structure (data node count and level ranges) is stored as
+// graph-level attributes so a round trip reproduces the exact Graph.
+package graphml
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"tornado/internal/graph"
+)
+
+const xmlns = "http://graphml.graphdrawing.org/xmlns"
+
+type xmlGraphML struct {
+	XMLName xml.Name   `xml:"graphml"`
+	Xmlns   string     `xml:"xmlns,attr"`
+	Keys    []xmlKey   `xml:"key"`
+	Graphs  []xmlGraph `xml:"graph"`
+}
+
+type xmlKey struct {
+	ID       string `xml:"id,attr"`
+	For      string `xml:"for,attr"`
+	AttrName string `xml:"attr.name,attr"`
+	AttrType string `xml:"attr.type,attr"`
+}
+
+type xmlGraph struct {
+	ID          string    `xml:"id,attr"`
+	EdgeDefault string    `xml:"edgedefault,attr"`
+	Data        []xmlData `xml:"data"`
+	Nodes       []xmlNode `xml:"node"`
+	Edges       []xmlEdge `xml:"edge"`
+}
+
+type xmlData struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:",chardata"`
+}
+
+type xmlNode struct {
+	ID   string    `xml:"id,attr"`
+	Data []xmlData `xml:"data"`
+}
+
+type xmlEdge struct {
+	Source string `xml:"source,attr"`
+	Target string `xml:"target,attr"`
+}
+
+const (
+	keyKind   = "kind"   // node: "data" or "check"
+	keyData   = "data"   // graph: data node count
+	keyLevels = "levels" // graph: "lf:lc:rf:rc;…"
+)
+
+// Encode writes g as GraphML. Edges run from each check node to the left
+// nodes it covers (source=check, target=left).
+func Encode(w io.Writer, g *graph.Graph) error {
+	doc := xmlGraphML{
+		Xmlns: xmlns,
+		Keys: []xmlKey{
+			{ID: keyKind, For: "node", AttrName: keyKind, AttrType: "string"},
+			{ID: keyData, For: "graph", AttrName: keyData, AttrType: "int"},
+			{ID: keyLevels, For: "graph", AttrName: keyLevels, AttrType: "string"},
+		},
+	}
+	xg := xmlGraph{
+		ID:          g.Name,
+		EdgeDefault: "directed",
+		Data: []xmlData{
+			{Key: keyData, Value: strconv.Itoa(g.Data)},
+			{Key: keyLevels, Value: levelString(g.Levels)},
+		},
+	}
+	for v := 0; v < g.Total; v++ {
+		kind := "check"
+		if g.IsData(v) {
+			kind = "data"
+		}
+		xg.Nodes = append(xg.Nodes, xmlNode{
+			ID:   nodeID(v),
+			Data: []xmlData{{Key: keyKind, Value: kind}},
+		})
+	}
+	for r := g.Data; r < g.Total; r++ {
+		for _, l := range g.LeftNeighbors(r) {
+			xg.Edges = append(xg.Edges, xmlEdge{Source: nodeID(r), Target: nodeID(int(l))})
+		}
+	}
+	doc.Graphs = []xmlGraph{xg}
+
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("graphml: encode: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// Decode reads a GraphML document produced by Encode and reconstructs the
+// Graph, including its level structure.
+func Decode(r io.Reader) (*graph.Graph, error) {
+	var doc xmlGraphML
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("graphml: parse: %w", err)
+	}
+	if len(doc.Graphs) != 1 {
+		return nil, fmt.Errorf("graphml: want exactly 1 graph, got %d", len(doc.Graphs))
+	}
+	xg := doc.Graphs[0]
+
+	data, levels := -1, []graph.Level(nil)
+	for _, d := range xg.Data {
+		switch d.Key {
+		case keyData:
+			v, err := strconv.Atoi(strings.TrimSpace(d.Value))
+			if err != nil {
+				return nil, fmt.Errorf("graphml: bad data count %q", d.Value)
+			}
+			data = v
+		case keyLevels:
+			lv, err := parseLevels(strings.TrimSpace(d.Value))
+			if err != nil {
+				return nil, err
+			}
+			levels = lv
+		}
+	}
+	if data <= 0 || len(levels) == 0 {
+		return nil, fmt.Errorf("graphml: missing graph metadata (data=%d, levels=%d)", data, len(levels))
+	}
+	// Bound and validate the declared structure before building: the
+	// builder treats violations as programmer errors and panics, and
+	// absurd counts would allocate unboundedly.
+	const maxNodes = 1 << 20
+	if data > maxNodes {
+		return nil, fmt.Errorf("graphml: data node count %d exceeds limit", data)
+	}
+	total := data
+	for i, lv := range levels {
+		if lv.LeftCount <= 0 || lv.RightCount <= 0 || lv.LeftFirst < 0 {
+			return nil, fmt.Errorf("graphml: level %d has invalid ranges %+v", i, lv)
+		}
+		if lv.LeftFirst+lv.LeftCount > total {
+			return nil, fmt.Errorf("graphml: level %d left range exceeds %d known nodes", i, total)
+		}
+		total += lv.RightCount
+		if total > maxNodes {
+			return nil, fmt.Errorf("graphml: node count %d exceeds limit", total)
+		}
+	}
+
+	b := graph.NewBuilder(data)
+	for _, lv := range levels {
+		b.AddLevel(lv.LeftFirst, lv.LeftCount, lv.RightCount)
+	}
+	g := b.Graph()
+	g.Name = xg.ID
+
+	for _, e := range xg.Edges {
+		src, err := parseNodeID(e.Source)
+		if err != nil {
+			return nil, err
+		}
+		dst, err := parseNodeID(e.Target)
+		if err != nil {
+			return nil, err
+		}
+		// Validate before touching the graph: AddEdge treats violations
+		// as programmer errors and panics, but here they are just
+		// malformed input.
+		li := g.LevelOfRight(src)
+		if li < 0 {
+			return nil, fmt.Errorf("graphml: edge source n%d is not a check node", src)
+		}
+		lv := g.Levels[li]
+		if dst < lv.LeftFirst || dst >= lv.LeftFirst+lv.LeftCount {
+			return nil, fmt.Errorf("graphml: edge (n%d, n%d) leaves level %d's left range", src, dst, li)
+		}
+		if g.HasEdge(src, dst) {
+			return nil, fmt.Errorf("graphml: duplicate edge (n%d, n%d)", src, dst)
+		}
+		g.AddEdge(src, dst)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graphml: decoded graph invalid: %w", err)
+	}
+	return g, nil
+}
+
+// WriteFile writes g to path as GraphML.
+func WriteFile(path string, g *graph.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Encode(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a GraphML graph from path.
+func ReadFile(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+func nodeID(v int) string { return "n" + strconv.Itoa(v) }
+
+func parseNodeID(s string) (int, error) {
+	if !strings.HasPrefix(s, "n") {
+		return 0, fmt.Errorf("graphml: bad node id %q", s)
+	}
+	v, err := strconv.Atoi(s[1:])
+	if err != nil {
+		return 0, fmt.Errorf("graphml: bad node id %q", s)
+	}
+	return v, nil
+}
+
+func levelString(levels []graph.Level) string {
+	parts := make([]string, 0, len(levels))
+	for _, lv := range levels {
+		parts = append(parts, fmt.Sprintf("%d:%d:%d:%d", lv.LeftFirst, lv.LeftCount, lv.RightFirst, lv.RightCount))
+	}
+	return strings.Join(parts, ";")
+}
+
+func parseLevels(s string) ([]graph.Level, error) {
+	if s == "" {
+		return nil, fmt.Errorf("graphml: empty levels attribute")
+	}
+	var out []graph.Level
+	for _, part := range strings.Split(s, ";") {
+		var lv graph.Level
+		if _, err := fmt.Sscanf(part, "%d:%d:%d:%d", &lv.LeftFirst, &lv.LeftCount, &lv.RightFirst, &lv.RightCount); err != nil {
+			return nil, fmt.Errorf("graphml: bad level spec %q", part)
+		}
+		out = append(out, lv)
+	}
+	return out, nil
+}
+
+// DOT renders g as a Graphviz digraph, one rank per node tier, with the
+// given nodes highlighted (the testing suite's "failed graph" rendering:
+// unrecoverable nodes and the check dependencies related to the failure).
+func DOT(w io.Writer, g *graph.Graph, highlight []int) error {
+	hi := make(map[int]bool, len(highlight))
+	for _, v := range highlight {
+		hi[v] = true
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [shape=circle, fontsize=10];\n", dotName(g.Name))
+
+	rank := func(label string, first, count int) {
+		fmt.Fprintf(&b, "  { rank=same;")
+		for v := first; v < first+count; v++ {
+			fmt.Fprintf(&b, " n%d;", v)
+		}
+		fmt.Fprintf(&b, " } // %s\n", label)
+	}
+	rank("data", 0, g.Data)
+	for i, lv := range g.Levels {
+		rank(fmt.Sprintf("level %d", i+1), lv.RightFirst, lv.RightCount)
+	}
+
+	for v := 0; v < g.Total; v++ {
+		attrs := []string{fmt.Sprintf("label=%q", strconv.Itoa(v))}
+		if g.IsData(v) {
+			attrs = append(attrs, "shape=box")
+		}
+		if hi[v] {
+			attrs = append(attrs, `style=filled`, `fillcolor=red`)
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", v, strings.Join(attrs, ", "))
+	}
+	for r := g.Data; r < g.Total; r++ {
+		for _, l := range g.LeftNeighbors(r) {
+			style := ""
+			if hi[r] || hi[int(l)] {
+				style = " [color=red]"
+			}
+			fmt.Fprintf(&b, "  n%d -> n%d%s;\n", l, r, style)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func dotName(name string) string {
+	if name == "" {
+		return "graph"
+	}
+	return name
+}

@@ -1,0 +1,204 @@
+package graphml
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tornado/internal/core"
+	"tornado/internal/graph"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, _, err := core.Generate(core.DefaultParams(), rand.New(rand.NewPCG(21, 43)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Name = "tornado-96-test"
+	return g
+}
+
+func graphsEqual(a, b *graph.Graph) bool {
+	if a.Data != b.Data || a.Total != b.Total || a.Name != b.Name || len(a.Levels) != len(b.Levels) {
+		return false
+	}
+	for i := range a.Levels {
+		if a.Levels[i] != b.Levels[i] {
+			return false
+		}
+	}
+	for r := a.Data; r < a.Total; r++ {
+		la, lb := a.LeftNeighbors(r), b.LeftNeighbors(r)
+		if len(la) != len(lb) {
+			return false
+		}
+		// Order-insensitive comparison.
+		seen := map[int32]bool{}
+		for _, l := range la {
+			seen[l] = true
+		}
+		for _, l := range lb {
+			if !seen[l] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g := testGraph(t)
+	var buf bytes.Buffer
+	if err := Encode(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, got) {
+		t.Error("round trip changed the graph")
+	}
+}
+
+func TestEncodeProducesWellFormedGraphML(t *testing.T) {
+	g := testGraph(t)
+	var buf bytes.Buffer
+	if err := Encode(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		`<?xml`, `graphml`, xmlns, `edgedefault="directed"`,
+		`key="kind"`, `>data<`, `>check<`, `source="n48"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	g := testGraph(t)
+	path := filepath.Join(t.TempDir(), "g.graphml")
+	if err := WriteFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, got) {
+		t.Error("file round trip changed the graph")
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope.graphml")); !os.IsNotExist(err) {
+		t.Errorf("err = %v, want not-exist", err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not xml":     "hello",
+		"no graphs":   `<?xml version="1.0"?><graphml xmlns="` + xmlns + `"></graphml>`,
+		"no metadata": `<?xml version="1.0"?><graphml xmlns="` + xmlns + `"><graph id="x" edgedefault="directed"></graph></graphml>`,
+		"bad node id": `<?xml version="1.0"?><graphml xmlns="` + xmlns + `"><graph id="x" edgedefault="directed"><data key="data">1</data><data key="levels">0:1:1:1</data><node id="q5"/><edge source="q5" target="n0"/></graph></graphml>`,
+	}
+	for name, doc := range cases {
+		if _, err := Decode(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformedEdgesAndLevels(t *testing.T) {
+	doc := func(levels, edges string) string {
+		return `<?xml version="1.0"?><graphml xmlns="` + xmlns + `"><graph id="x" edgedefault="directed">` +
+			`<data key="data">2</data><data key="levels">` + levels + `</data>` +
+			`<node id="n0"/><node id="n1"/><node id="n2"/>` + edges + `</graph></graphml>`
+	}
+	cases := map[string]string{
+		"edge from non-check":   doc("0:2:2:1", `<edge source="n0" target="n1"/>`),
+		"edge source oob":       doc("0:2:2:1", `<edge source="n9999" target="n0"/>`),
+		"edge target oob":       doc("0:2:2:1", `<edge source="n2" target="n7"/>`),
+		"duplicate edge":        doc("0:2:2:1", `<edge source="n2" target="n0"/><edge source="n2" target="n0"/>`),
+		"negative level count":  doc("0:-2:2:1", ``),
+		"level range too large": doc("0:5:2:1", ``),
+		"huge node count":       doc("0:2:2:99999999", ``),
+	}
+	for name, d := range cases {
+		if _, err := Decode(strings.NewReader(d)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDecodeValidatesGraph(t *testing.T) {
+	// Structurally parseable but invalid: data node 1 uncovered.
+	doc := `<?xml version="1.0"?>
+<graphml xmlns="` + xmlns + `">
+  <graph id="bad" edgedefault="directed">
+    <data key="data">2</data>
+    <data key="levels">0:2:2:1</data>
+    <node id="n0"/><node id="n1"/><node id="n2"/>
+    <edge source="n2" target="n0"/>
+  </graph>
+</graphml>`
+	if _, err := Decode(strings.NewReader(doc)); err == nil {
+		t.Error("invalid graph accepted")
+	}
+}
+
+func TestParseLevels(t *testing.T) {
+	lv, err := parseLevels("0:48:48:24;48:24:72:12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lv) != 2 || lv[1].RightFirst != 72 {
+		t.Errorf("parseLevels = %+v", lv)
+	}
+	if _, err := parseLevels(""); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := parseLevels("1:2:3"); err == nil {
+		t.Error("short spec accepted")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := testGraph(t)
+	var buf bytes.Buffer
+	if err := DOT(&buf, g, []int{0, 48}); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		"digraph", "rank=same", "fillcolor=red", "n0 [", "shape=box", "->",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+	// Highlighted edge coloring present.
+	if !strings.Contains(s, "[color=red]") {
+		t.Error("DOT missing highlighted edges")
+	}
+}
+
+func TestDOTEmptyName(t *testing.T) {
+	g := testGraph(t)
+	g.Name = ""
+	var buf bytes.Buffer
+	if err := DOT(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `digraph "graph"`) {
+		t.Error("DOT default name missing")
+	}
+}

@@ -1,0 +1,99 @@
+package graphml
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"tornado/internal/graph"
+)
+
+// SVG renders the cascade as a standalone SVG document: data nodes in the
+// left column, one column per check level, edges as lines, with the given
+// nodes highlighted in red — a self-contained version of the testing
+// suite's failed-graph rendering (paper §3) that needs no external
+// Graphviz installation.
+func SVG(w io.Writer, g *graph.Graph, highlight []int) error {
+	hi := make(map[int]bool, len(highlight))
+	for _, v := range highlight {
+		hi[v] = true
+	}
+
+	const (
+		colWidth  = 160
+		rowHeight = 18
+		radius    = 6
+		marginX   = 50
+		marginY   = 30
+	)
+
+	// Column index and row position per node.
+	col := make([]int, g.Total)
+	row := make([]int, g.Total)
+	for v := 0; v < g.Data; v++ {
+		col[v], row[v] = 0, v
+	}
+	maxRows := g.Data
+	for i, lv := range g.Levels {
+		for j := 0; j < lv.RightCount; j++ {
+			v := lv.RightFirst + j
+			col[v] = i + 1
+			// Center small levels vertically against the data column.
+			row[v] = j*g.Data/lv.RightCount + g.Data/(2*lv.RightCount)
+		}
+	}
+	cols := len(g.Levels) + 1
+	width := 2*marginX + (cols-1)*colWidth
+	height := 2*marginY + maxRows*rowHeight
+
+	x := func(v int) int { return marginX + col[v]*colWidth }
+	y := func(v int) int { return marginY + row[v]*rowHeight }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `  <title>%s</title>`+"\n", xmlEscape(g.Name))
+	b.WriteString(`  <rect width="100%" height="100%" fill="white"/>` + "\n")
+
+	// Edges first, nodes on top.
+	for r := g.Data; r < g.Total; r++ {
+		for _, l := range g.LeftNeighbors(r) {
+			stroke := "#bbbbbb"
+			if hi[r] || hi[int(l)] {
+				stroke = "#cc0000"
+			}
+			fmt.Fprintf(&b, `  <line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="1"/>`+"\n",
+				x(int(l)), y(int(l)), x(r), y(r), stroke)
+		}
+	}
+	for v := 0; v < g.Total; v++ {
+		fill := "#e8f0fe"
+		if hi[v] {
+			fill = "#ff5555"
+		}
+		if g.IsData(v) {
+			fmt.Fprintf(&b, `  <rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#333"/>`+"\n",
+				x(v)-radius, y(v)-radius, 2*radius, 2*radius, fill)
+		} else {
+			fmt.Fprintf(&b, `  <circle cx="%d" cy="%d" r="%d" fill="%s" stroke="#333"/>`+"\n",
+				x(v), y(v), radius, fill)
+		}
+		fmt.Fprintf(&b, `  <text x="%d" y="%d" font-size="8" font-family="monospace" text-anchor="middle">%d</text>`+"\n",
+			x(v), y(v)+3, v)
+	}
+
+	// Column labels.
+	fmt.Fprintf(&b, `  <text x="%d" y="%d" font-size="11" font-family="sans-serif">data</text>`+"\n", marginX-radius, marginY-12)
+	for i := range g.Levels {
+		fmt.Fprintf(&b, `  <text x="%d" y="%d" font-size="11" font-family="sans-serif">level %d</text>`+"\n",
+			marginX+(i+1)*colWidth-radius, marginY-12, i+1)
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

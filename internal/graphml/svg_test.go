@@ -1,0 +1,72 @@
+package graphml
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func TestSVGWellFormed(t *testing.T) {
+	g := testGraph(t)
+	var buf bytes.Buffer
+	if err := SVG(&buf, g, []int{0, 48, 95}); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "<line", "<circle", "<rect", "level 1", "#ff5555",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Must be parseable XML.
+	dec := xml.NewDecoder(strings.NewReader(s))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v", err)
+		}
+	}
+	// One shape per node: 48 rects (data) + 48 circles (checks) + the
+	// background rect.
+	if got := strings.Count(s, "<rect"); got != 49 {
+		t.Errorf("rect count = %d, want 49", got)
+	}
+	if got := strings.Count(s, "<circle"); got != 48 {
+		t.Errorf("circle count = %d, want 48", got)
+	}
+	if got := strings.Count(s, "<line"); got != g.EdgeCount() {
+		t.Errorf("line count = %d, want %d edges", got, g.EdgeCount())
+	}
+}
+
+func TestSVGEscapesName(t *testing.T) {
+	g := testGraph(t)
+	g.Name = `<bad & "name">`
+	var buf bytes.Buffer
+	if err := SVG(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `<bad`) {
+		t.Error("name not escaped")
+	}
+	if !strings.Contains(buf.String(), "&lt;bad &amp;") {
+		t.Error("escaped form missing")
+	}
+}
+
+func TestSVGNoHighlight(t *testing.T) {
+	g := testGraph(t)
+	var buf bytes.Buffer
+	if err := SVG(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "#ff5555") || strings.Contains(buf.String(), "#cc0000") {
+		t.Error("highlight colors present without highlights")
+	}
+}

@@ -1,0 +1,58 @@
+package maid
+
+import (
+	"tornado/internal/archive"
+	"tornado/internal/device"
+)
+
+// StoreBackend adapts a Shelf to the archive's storage interface: blocks
+// on spun-down drives are considered available (the shelf spins them up on
+// demand) and retrieval planning sees spin-up costs, so guided reads favor
+// already-spinning drives.
+type StoreBackend struct {
+	shelf *Shelf
+}
+
+var _ archive.Backend = StoreBackend{}
+
+// NewStoreBackend wraps shelf for use with archive.NewWithBackend.
+func NewStoreBackend(shelf *Shelf) StoreBackend { return StoreBackend{shelf: shelf} }
+
+// Nodes returns the shelf's device count.
+func (b StoreBackend) Nodes() int { return len(b.shelf.devices) }
+
+// Available reports whether node's copy of key survives somewhere the
+// shelf can reach: standby drives count (a spin-up away); failed and
+// offline drives do not.
+func (b StoreBackend) Available(node int, key string) bool {
+	switch b.shelf.devices[node].State() {
+	case device.Online, device.Standby:
+		return b.shelf.devices[node].Has(key)
+	default:
+		return false
+	}
+}
+
+// Read fetches a block through the shelf, spinning the drive up if needed.
+func (b StoreBackend) Read(node int, key string) ([]byte, error) {
+	return b.shelf.Read(node, key)
+}
+
+// Write stores a block through the shelf, spinning the drive up if needed.
+func (b StoreBackend) Write(node int, key string, data []byte) error {
+	return b.shelf.Write(node, key, data)
+}
+
+// Delete removes a block, spinning the drive up if needed.
+func (b StoreBackend) Delete(node int, key string) error {
+	b.shelf.mu.Lock()
+	b.shelf.touchLocked(node)
+	b.shelf.mu.Unlock()
+	return b.shelf.devices[node].Delete(key)
+}
+
+// Cost prices a read by power state: spinning drives are nearly free,
+// standby drives cost a spin-up, dead drives are unreachable.
+func (b StoreBackend) Cost(node int) float64 {
+	return b.shelf.CostFunc()(node)
+}

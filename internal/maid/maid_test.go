@@ -1,0 +1,159 @@
+package maid
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"tornado/internal/device"
+)
+
+func newShelf(t *testing.T, n, budget int) *Shelf {
+	t.Helper()
+	s, err := NewShelf(device.NewArray(n), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewShelfValidation(t *testing.T) {
+	if _, err := NewShelf(device.NewArray(4), 0); err == nil {
+		t.Error("budget 0 accepted")
+	}
+	if _, err := NewShelf(device.NewArray(4), 5); err == nil {
+		t.Error("budget > devices accepted")
+	}
+}
+
+func TestShelfStartsSpunDown(t *testing.T) {
+	s := newShelf(t, 8, 2)
+	if s.OnlineCount() != 0 {
+		t.Errorf("OnlineCount = %d", s.OnlineCount())
+	}
+	for _, d := range s.Devices() {
+		if d.State() != device.Standby {
+			t.Errorf("device %d state %v", d.ID(), d.State())
+		}
+	}
+	if s.Budget() != 2 {
+		t.Errorf("Budget = %d", s.Budget())
+	}
+}
+
+func TestReadSpinsUpOnDemand(t *testing.T) {
+	s := newShelf(t, 4, 2)
+	if err := s.Write(0, "a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(0, "a")
+	if err != nil || string(got) != "x" {
+		t.Fatalf("Read = %q, %v", got, err)
+	}
+	if s.OnlineCount() != 1 {
+		t.Errorf("OnlineCount = %d", s.OnlineCount())
+	}
+	if s.SpinUps() != 1 {
+		t.Errorf("SpinUps = %d", s.SpinUps())
+	}
+}
+
+func TestBudgetEnforcedByEviction(t *testing.T) {
+	s := newShelf(t, 6, 2)
+	for id := 0; id < 6; id++ {
+		if err := s.Write(id, "k", []byte{byte(id)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.OnlineCount() != 2 {
+		t.Fatalf("OnlineCount = %d, want 2", s.OnlineCount())
+	}
+	// The last two touched (4, 5) are spinning; 0..3 were parked.
+	if s.Devices()[4].State() != device.Online || s.Devices()[5].State() != device.Online {
+		t.Error("MRU devices not online")
+	}
+	if s.Devices()[0].State() != device.Standby {
+		t.Error("LRU device not parked")
+	}
+}
+
+func TestLRUTouchKeepsHotDeviceSpinning(t *testing.T) {
+	s := newShelf(t, 4, 2)
+	s.Write(0, "k", []byte("a"))
+	s.Write(1, "k", []byte("b"))
+	// Re-touch 0 so it becomes MRU; writing to 2 should evict 1, not 0.
+	if _, err := s.Read(0, "k"); err != nil {
+		t.Fatal(err)
+	}
+	s.Write(2, "k", []byte("c"))
+	if s.Devices()[0].State() != device.Online {
+		t.Error("hot device was evicted")
+	}
+	if s.Devices()[1].State() != device.Standby {
+		t.Error("cold device kept spinning")
+	}
+}
+
+func TestEnsureOnBudgetError(t *testing.T) {
+	s := newShelf(t, 6, 2)
+	if err := s.EnsureOn([]int{0, 1, 2}); !errors.Is(err, ErrBudget) {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+	if err := s.EnsureOn([]int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if s.OnlineCount() != 2 {
+		t.Errorf("OnlineCount = %d", s.OnlineCount())
+	}
+}
+
+func TestEnsureOnSkipsDeadDevices(t *testing.T) {
+	s := newShelf(t, 4, 2)
+	s.Devices()[0].Fail()
+	s.Devices()[1].Fail()
+	s.Devices()[2].Fail()
+	// Three dead devices don't count against the budget.
+	if err := s.EnsureOn([]int{0, 1, 2, 3}); err != nil {
+		t.Fatalf("EnsureOn with dead devices: %v", err)
+	}
+	if s.Devices()[3].State() != device.Online {
+		t.Error("live device not spun up")
+	}
+}
+
+func TestSpinUpAccounting(t *testing.T) {
+	s := newShelf(t, 4, 1)
+	// Alternate between two devices: every access is a spin-up.
+	for i := 0; i < 3; i++ {
+		s.Write(0, "k", []byte("x"))
+		s.Write(1, "k", []byte("y"))
+	}
+	if got := s.SpinUps(); got != 6 {
+		t.Errorf("SpinUps = %d, want 6", got)
+	}
+	// A budget of 2 would keep both spinning: only 2 spin-ups.
+	s2 := newShelf(t, 4, 2)
+	for i := 0; i < 3; i++ {
+		s2.Write(0, "k", []byte("x"))
+		s2.Write(1, "k", []byte("y"))
+	}
+	if got := s2.SpinUps(); got != 2 {
+		t.Errorf("budget-2 SpinUps = %d, want 2", got)
+	}
+}
+
+func TestCostFunc(t *testing.T) {
+	s := newShelf(t, 4, 2)
+	s.Write(0, "k", []byte("x")) // device 0 now spinning
+	s.Devices()[3].Fail()
+	cost := s.CostFunc()
+	if c := cost(0); c >= 1 {
+		t.Errorf("online cost = %v, want < 1", c)
+	}
+	if c := cost(1); c != 1 {
+		t.Errorf("standby cost = %v, want 1", c)
+	}
+	if !math.IsInf(cost(3), 1) {
+		t.Errorf("failed cost = %v, want +Inf", cost(3))
+	}
+}

@@ -1,0 +1,173 @@
+package maid
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"tornado/internal/core"
+	"tornado/internal/decode"
+	"tornado/internal/graph"
+)
+
+func schedGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, _, err := core.Generate(core.DefaultParams(), rand.New(rand.NewPCG(66, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func fullAvail(n int) []bool {
+	a := make([]bool, n)
+	for i := range a {
+		a[i] = true
+	}
+	return a
+}
+
+// clusteredJobs builds jobs that prefer two disjoint device clusters: even
+// jobs are missing one group of data nodes (forcing reconstruction through
+// checks), odd jobs a different group. Arrival order alternates clusters,
+// which is the worst case for a power-budgeted shelf.
+func clusteredJobs(g *graph.Graph, n int) []StripeJob {
+	jobs := make([]StripeJob, n)
+	for i := range jobs {
+		avail := fullAvail(g.Total)
+		if i%2 == 0 {
+			for v := 0; v < 6; v++ {
+				avail[v] = false
+			}
+		} else {
+			for v := 6; v < 12; v++ {
+				avail[v] = false
+			}
+		}
+		jobs[i] = StripeJob{ID: string(rune('a' + i)), Available: avail}
+	}
+	return jobs
+}
+
+func TestSchedulePlansReconstruct(t *testing.T) {
+	g := schedGraph(t)
+	jobs := clusteredJobs(g, 4)
+	sched, total, err := Schedule(g, jobs, nil, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != 4 || total <= 0 {
+		t.Fatalf("schedule %v total %d", sched, total)
+	}
+	// Every job appears exactly once and its plan decodes its stripe.
+	seen := map[string]bool{}
+	d := decode.New(g)
+	for _, s := range sched {
+		if seen[s.ID] {
+			t.Fatalf("job %s scheduled twice", s.ID)
+		}
+		seen[s.ID] = true
+		var job StripeJob
+		for _, j := range jobs {
+			if j.ID == s.ID {
+				job = j
+			}
+		}
+		sel := make([]bool, g.Total)
+		for _, v := range s.Plan {
+			if !job.Available[v] {
+				t.Fatalf("job %s plan uses unavailable node %d", s.ID, v)
+			}
+			sel[v] = true
+		}
+		var erased []int
+		for v := 0; v < g.Total; v++ {
+			if !sel[v] {
+				erased = append(erased, v)
+			}
+		}
+		if !d.Recoverable(erased) {
+			t.Errorf("job %s plan does not reconstruct", s.ID)
+		}
+	}
+}
+
+func TestScheduleBeatsArrivalOrderOnClusteredJobs(t *testing.T) {
+	g := schedGraph(t)
+	jobs := clusteredJobs(g, 8)
+	// Budget large enough to hold one cluster's working set but not both.
+	const budget = 60
+	_, greedy, err := Schedule(g, jobs, nil, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, arrival, err := ScheduleArrivalOrder(g, jobs, nil, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("spin-ups: greedy %d vs arrival order %d", greedy, arrival)
+	if greedy > arrival {
+		t.Errorf("greedy schedule (%d spin-ups) worse than arrival order (%d)", greedy, arrival)
+	}
+}
+
+func TestScheduleIdenticalJobsReuseHotSet(t *testing.T) {
+	g := schedGraph(t)
+	jobs := make([]StripeJob, 5)
+	for i := range jobs {
+		jobs[i] = StripeJob{ID: string(rune('0' + i)), Available: fullAvail(g.Total)}
+	}
+	sched, total, err := Schedule(g, jobs, nil, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First job spins up its whole plan; later identical jobs reuse it.
+	if sched[0].SpinUps == 0 {
+		t.Error("first job got free spin-ups from a cold shelf")
+	}
+	for _, s := range sched[1:] {
+		if s.SpinUps != 0 {
+			t.Errorf("job %s re-spun %d drives despite identical plan", s.ID, s.SpinUps)
+		}
+	}
+	if total != sched[0].SpinUps {
+		t.Errorf("total %d != first job %d", total, sched[0].SpinUps)
+	}
+}
+
+func TestScheduleInitialHot(t *testing.T) {
+	g := schedGraph(t)
+	job := StripeJob{ID: "x", Available: fullAvail(g.Total)}
+	cold, coldTotal, err := Schedule(g, []StripeJob{job}, nil, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, hotTotal, err := Schedule(g, []StripeJob{job}, cold[0].Plan, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hotTotal != 0 {
+		t.Errorf("warm shelf needed %d spin-ups (plan %v)", hotTotal, hot[0].Plan)
+	}
+	if coldTotal == 0 {
+		t.Error("cold shelf needed no spin-ups")
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	g := schedGraph(t)
+	if _, _, err := Schedule(g, nil, nil, 0); err == nil {
+		t.Error("budget 0 accepted")
+	}
+	bad := []StripeJob{{ID: "x", Available: make([]bool, 3)}}
+	if _, _, err := Schedule(g, bad, nil, 10); err == nil {
+		t.Error("bad availability size accepted")
+	}
+	if _, _, err := ScheduleArrivalOrder(g, bad, nil, 10); err == nil {
+		t.Error("arrival: bad availability size accepted")
+	}
+	// A job whose availability cannot reconstruct must error.
+	none := []StripeJob{{ID: "x", Available: make([]bool, g.Total)}}
+	if _, _, err := Schedule(g, none, nil, 10); err == nil {
+		t.Error("unreconstructable job accepted")
+	}
+}

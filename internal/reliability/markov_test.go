@@ -1,0 +1,176 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+
+	"tornado/internal/raid"
+)
+
+// stripingProfile: any failure is fatal.
+func stripingProfile(n int) func(int) float64 {
+	return func(k int) float64 {
+		if k >= 1 {
+			return 1
+		}
+		return 0
+	}
+}
+
+// singleParityProfile: one loss fine, two fatal (a single RAID5 LUN).
+func singleParityProfile(k int) float64 {
+	if k >= 2 {
+		return 1
+	}
+	return 0
+}
+
+func TestMTTDLStripingNoRepair(t *testing.T) {
+	// With every failure fatal, MTTDL is exactly the first-failure time
+	// 1/(n·λ), repair irrelevant.
+	n, lambda := 96, 0.01
+	got, err := MTTDL(n, lambda, 100, 4, stripingProfile(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / (float64(n) * lambda)
+	if math.Abs(got-want) > 1e-9*want {
+		t.Errorf("MTTDL = %v, want %v", got, want)
+	}
+}
+
+func TestMTTDLSingleParityClosedForm(t *testing.T) {
+	// Classic 2-state chain for an m-disk single-parity array:
+	//   T0 = 1/(mλ) + T1
+	//   T1 = 1/((m−1)λ+μ) + μ/((m−1)λ+μ)·T0
+	// Solve exactly and compare.
+	m, lambda, mu := 12, 0.01, 52.0
+	a0 := float64(m) * lambda
+	a1 := float64(m-1) * lambda
+	// T0 = 1/a0 + T1 ; T1 = (1 + mu·T0)/(a1+mu)
+	// ⇒ T0·(1 − mu/(a1+mu)) = 1/a0 + 1/(a1+mu)
+	// ⇒ T0 = (a1+mu)/(a0·a1) + 1/a1
+	t0 := (a1+mu)/(a0*a1) + 1/a1
+	got, err := MTTDL(m, lambda, mu, 1, singleParityProfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-t0) > 1e-9*t0 {
+		t.Errorf("MTTDL = %v, closed form %v", got, t0)
+	}
+	// And the folklore approximation μ/(m(m−1)λ²) should be in the right
+	// ballpark when μ >> λ.
+	approx := mu / (float64(m*(m-1)) * lambda * lambda)
+	if got < approx/2 || got > approx*2 {
+		t.Errorf("MTTDL %v vs approximation %v", got, approx)
+	}
+}
+
+func TestMTTDLRepairHelps(t *testing.T) {
+	prof := func(k int) float64 { return raid.MirroredFailGivenK(48, k) }
+	noRepair, err := MTTDL(96, 0.01, 0, 0, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := MTTDL(96, 0.01, 12, 1, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := MTTDL(96, 0.01, 52, 4, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(noRepair < slow && slow < fast) {
+		t.Errorf("MTTDL ordering wrong: %v, %v, %v", noRepair, slow, fast)
+	}
+}
+
+func TestMTTDLTornadoBeatsMirroringWithRepair(t *testing.T) {
+	// A first-failure-5 profile (tornado-like) must yield a vastly larger
+	// MTTDL than mirroring at the same repair rate.
+	tornadoLike := func(k int) float64 {
+		switch {
+		case k < 5:
+			return 0
+		case k == 5:
+			return 14.0 / 61124064
+		default:
+			f := 1e-5 * math.Pow(4, float64(k-6))
+			if f > 1 {
+				f = 1
+			}
+			return f
+		}
+	}
+	mirror := func(k int) float64 { return raid.MirroredFailGivenK(48, k) }
+	tm, err := MTTDL(96, 0.01, 12, 1, tornadoLike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := MTTDL(96, 0.01, 12, 1, mirror)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm < 100*mm {
+		t.Errorf("tornado MTTDL %v not >> mirrored %v", tm, mm)
+	}
+}
+
+func TestMTTDLValidation(t *testing.T) {
+	prof := stripingProfile(4)
+	if _, err := MTTDL(0, 0.01, 1, 1, prof); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := MTTDL(4, 0, 1, 1, prof); err == nil {
+		t.Error("lambda=0 accepted")
+	}
+	if _, err := MTTDL(4, 0.01, -1, 1, prof); err == nil {
+		t.Error("negative mu accepted")
+	}
+	if _, err := MTTDL(4, 0.01, 1, 1, func(int) float64 { return 0.5 }); err == nil {
+		t.Error("F(0)>0 accepted")
+	}
+}
+
+func TestMTTDLNoRepairMatchesSimulatedExpectation(t *testing.T) {
+	// Without repair, MTTDL = E[time of the fatal failure]. For the
+	// mirrored profile this equals Σ over k of (expected holding times
+	// weighted by survival) — cross-check against a direct chain
+	// evaluation with a different method: numerically integrate survival
+	// using the embedded discrete chain.
+	n, lambda := 8, 0.05
+	prof := func(k int) float64 { return raid.MirroredFailGivenK(4, k) }
+	got, err := MTTDL(n, lambda, 0, 0, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct: T_k = 1/((n−k)λ) + (1−q_k)·T_{k+1}, computed backwards.
+	T := 0.0
+	for k := n - 1; k >= 0; k-- {
+		Fk, Fk1 := prof(k), prof(k+1)
+		if Fk >= 1 {
+			T = 0
+			continue
+		}
+		q := (Fk1 - Fk) / (1 - Fk)
+		if k+1 > n-1 && Fk1 < 1 {
+			q = 1 // beyond the chain everything is fatal
+		}
+		T = 1/(float64(n-k)*lambda) + (1-q)*T
+	}
+	if math.Abs(got-T) > 1e-9*T {
+		t.Errorf("MTTDL = %v, backward recursion %v", got, T)
+	}
+}
+
+func TestAnnualLossProbability(t *testing.T) {
+	if got := AnnualLossProbability(0); got != 1 {
+		t.Errorf("MTTDL 0 → %v", got)
+	}
+	if got := AnnualLossProbability(100); math.Abs(got-(1-math.Exp(-0.01))) > 1e-12 {
+		t.Errorf("MTTDL 100y → %v", got)
+	}
+	if AnnualLossProbability(1e9) > 1e-8 {
+		t.Error("huge MTTDL should give tiny probability")
+	}
+}

@@ -1,0 +1,128 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tornado/internal/raid"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestBinomialPMFBasics(t *testing.T) {
+	// n=2, p=0.5: 0.25, 0.5, 0.25.
+	for k, want := range []float64{0.25, 0.5, 0.25} {
+		if got := BinomialPMF(2, k, 0.5); !approx(got, want, 1e-12) {
+			t.Errorf("PMF(2,%d,0.5) = %v, want %v", k, got, want)
+		}
+	}
+	if BinomialPMF(5, -1, 0.3) != 0 || BinomialPMF(5, 6, 0.3) != 0 {
+		t.Error("out-of-range k should be 0")
+	}
+	if BinomialPMF(5, 0, 0) != 1 || BinomialPMF(5, 3, 0) != 0 {
+		t.Error("p=0 edge case")
+	}
+	if BinomialPMF(5, 5, 1) != 1 || BinomialPMF(5, 3, 1) != 0 {
+		t.Error("p=1 edge case")
+	}
+}
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	for _, p := range []float64{0.01, 0.3, 0.9} {
+		sum := 0.0
+		for k := 0; k <= 96; k++ {
+			sum += BinomialPMF(96, k, p)
+		}
+		if !approx(sum, 1, 1e-9) {
+			t.Errorf("PMF(96,·,%v) sums to %v", p, sum)
+		}
+	}
+}
+
+func TestPaperExactProbabilities(t *testing.T) {
+	// §5.1 quotes P(exactly 3 disks fail) = 0.056 and
+	// P(exactly 5 disks fail) = 0.0024 for 96 disks at p = 0.01.
+	if got := BinomialPMF(96, 3, 0.01); !approx(got, 0.056, 0.001) {
+		t.Errorf("P(exactly 3) = %v, paper says ≈0.056", got)
+	}
+	if got := BinomialPMF(96, 5, 0.01); !approx(got, 0.0024, 0.0002) {
+		t.Errorf("P(exactly 5) = %v, paper says ≈0.0024", got)
+	}
+}
+
+// TestTable5Baselines reproduces the analytic rows of Table 5: 96 disks,
+// AFR p = 0.01, no repair.
+func TestTable5Baselines(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(k int) float64
+		want float64
+	}{
+		{"Striping", func(k int) float64 { return raid.StripingFailGivenK(96, k) }, 0.61895},
+		{"RAID5", func(k int) float64 { return raid.RAID5FailGivenK(8, 12, k) }, 0.04834},
+		{"RAID6", func(k int) float64 { return raid.RAID6FailGivenK(8, 12, k) }, 0.00164},
+		{"Mirrored", func(k int) float64 { return raid.MirroredFailGivenK(48, k) }, 0.00479},
+	}
+	for _, c := range cases {
+		got := SystemFailure(96, 0.01, c.f)
+		if !approx(got, c.want, 5e-5) {
+			t.Errorf("Table 5 %s: P(fail) = %.6f, paper %.5f", c.name, got, c.want)
+		}
+	}
+}
+
+func TestTornadoLikeReliabilityScale(t *testing.T) {
+	// A profile with first failure at 5 and the paper's measured F(5) =
+	// 14/61,124,064 should land near Table 5's ≈6e-10 (the k=5 term
+	// dominates; later terms depend on the full profile, so only the
+	// magnitude is checked).
+	f := func(k int) float64 {
+		switch {
+		case k < 5:
+			return 0
+		case k == 5:
+			return 14.0 / 61124064
+		default:
+			return 1e-5 * math.Pow(4, float64(k-6)) // schematic tail
+		}
+	}
+	got := SystemFailure(96, 0.01, f)
+	if got < 1e-10 || got > 1e-8 {
+		t.Errorf("tornado-like P(fail) = %.3g, expected ~1e-9 like Table 5", got)
+	}
+}
+
+func TestDominantTerm(t *testing.T) {
+	// For mirroring the k=2 term dominates at p=0.01 (first failure).
+	k, c := DominantTerm(96, 0.01, func(k int) float64 { return raid.MirroredFailGivenK(48, k) })
+	if k != 2 {
+		t.Errorf("dominant k = %d, want 2", k)
+	}
+	if c <= 0 {
+		t.Errorf("contribution = %v", c)
+	}
+	total := SystemFailure(96, 0.01, func(k int) float64 { return raid.MirroredFailGivenK(48, k) })
+	if c > total {
+		t.Errorf("contribution %v exceeds total %v", c, total)
+	}
+}
+
+// Property: SystemFailure is within [0,1] and increasing in the AFR for a
+// monotone profile.
+func TestQuickSystemFailureSane(t *testing.T) {
+	profile := func(k int) float64 { return raid.RAID5FailGivenK(8, 12, k) }
+	f := func(a, b uint16) bool {
+		p1 := float64(a%1000) / 2000 // [0, 0.5)
+		p2 := float64(b%1000) / 2000
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		f1 := SystemFailure(96, p1, profile)
+		f2 := SystemFailure(96, p2, profile)
+		return f1 >= 0 && f2 <= 1+1e-9 && f1 <= f2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+// Package retrieval implements the guided block-selection the paper plans
+// as future work (§5.2, §6): given which devices are reachable and a cost
+// for touching each one (e.g. spun-down MAID drives cost a spin-up), choose
+// a small, cheap set of blocks that still reconstructs the stripe, instead
+// of naively reading everything.
+//
+// Plan uses reverse-delete: start from every available node and greedily
+// drop the most expensive ones while the stripe stays decodable. The result
+// is minimal (no single element can be removed), though not always
+// globally minimum — matching the paper's framing of guided search as a
+// heuristic optimization.
+package retrieval
+
+import (
+	"errors"
+	"math"
+	"slices"
+
+	"tornado/internal/decode"
+	"tornado/internal/graph"
+)
+
+// ErrInsufficient is returned when even the full available set cannot
+// reconstruct the data.
+var ErrInsufficient = errors.New("retrieval: available blocks cannot reconstruct the stripe")
+
+// CostFunc prices reading the block on node ID v. Return +Inf to forbid a
+// node entirely.
+type CostFunc func(v int) float64
+
+// UnitCost charges 1 per block — minimizing the number of devices accessed.
+func UnitCost(int) float64 { return 1 }
+
+// Plan selects a subset of the available nodes whose blocks reconstruct all
+// data, minimizing total cost greedily. available[v] reports whether node
+// v's block is retrievable at all.
+func Plan(g *graph.Graph, available []bool, cost CostFunc) ([]int, float64, error) {
+	if len(available) != g.Total {
+		return nil, 0, errors.New("retrieval: availability vector size mismatch")
+	}
+	if cost == nil {
+		cost = UnitCost
+	}
+	d := decode.New(g)
+
+	// Candidate set: available nodes with finite cost.
+	selected := make([]bool, g.Total)
+	var cands []int
+	for v := 0; v < g.Total; v++ {
+		if available[v] && !math.IsInf(cost(v), 1) {
+			selected[v] = true
+			cands = append(cands, v)
+		}
+	}
+	if !recoverableWith(d, g, selected) {
+		return nil, 0, ErrInsufficient
+	}
+
+	// Reverse-delete: drop candidates most-expensive-first while the
+	// stripe remains decodable.
+	slices.SortStableFunc(cands, func(a, b int) int {
+		ca, cb := cost(a), cost(b)
+		switch {
+		case ca > cb:
+			return -1
+		case ca < cb:
+			return 1
+		default:
+			return b - a // among equals, drop deep check nodes first
+		}
+	})
+	for _, v := range cands {
+		selected[v] = false
+		if !recoverableWith(d, g, selected) {
+			selected[v] = true
+		}
+	}
+
+	var plan []int
+	total := 0.0
+	for v := 0; v < g.Total; v++ {
+		if selected[v] {
+			plan = append(plan, v)
+			total += cost(v)
+		}
+	}
+	return plan, total, nil
+}
+
+// recoverableWith reports whether treating exactly the selected nodes as
+// present reconstructs all data.
+func recoverableWith(d *decode.Decoder, g *graph.Graph, selected []bool) bool {
+	var erased []int
+	for v := 0; v < g.Total; v++ {
+		if !selected[v] {
+			erased = append(erased, v)
+		}
+	}
+	return d.Recoverable(erased)
+}

@@ -1,0 +1,224 @@
+package retrieval
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"tornado/internal/codec"
+	"tornado/internal/core"
+	"tornado/internal/decode"
+	"tornado/internal/graph"
+)
+
+func tornado96(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, _, err := core.Generate(core.DefaultParams(), rand.New(rand.NewPCG(31, 7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func allAvailable(n int) []bool {
+	a := make([]bool, n)
+	for i := range a {
+		a[i] = true
+	}
+	return a
+}
+
+func TestPlanAllAvailableSelectsOnlyDataNodes(t *testing.T) {
+	g := tornado96(t)
+	plan, total, err := Plan(g, allAvailable(g.Total), UnitCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With every block available the cheapest plan is exactly the data
+	// blocks: nothing needs reconstruction.
+	if len(plan) != g.Data {
+		t.Errorf("plan size = %d, want %d", len(plan), g.Data)
+	}
+	if total != float64(g.Data) {
+		t.Errorf("total = %v", total)
+	}
+	for _, v := range plan {
+		if !g.IsData(v) {
+			t.Errorf("plan contains check node %d despite full availability", v)
+		}
+	}
+}
+
+func TestPlanRoutesAroundMissingData(t *testing.T) {
+	g := tornado96(t)
+	avail := allAvailable(g.Total)
+	avail[0] = false
+	avail[1] = false
+	plan, _, err := Plan(g, avail, UnitCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The plan must reconstruct: treating exactly the plan as present must
+	// be decodable, and missing data nodes cannot appear.
+	sel := make([]bool, g.Total)
+	for _, v := range plan {
+		if !avail[v] {
+			t.Errorf("plan uses unavailable node %d", v)
+		}
+		sel[v] = true
+	}
+	d := decode.New(g)
+	var erased []int
+	for v := 0; v < g.Total; v++ {
+		if !sel[v] {
+			erased = append(erased, v)
+		}
+	}
+	if !d.Recoverable(erased) {
+		t.Error("plan does not reconstruct the stripe")
+	}
+	// It should not read everything: 96 available minus a handful.
+	if len(plan) >= g.Total-2 {
+		t.Errorf("plan reads %d blocks — no guidance at all", len(plan))
+	}
+}
+
+func TestPlanMinimality(t *testing.T) {
+	g := tornado96(t)
+	avail := allAvailable(g.Total)
+	avail[5] = false
+	plan, _, err := Plan(g, avail, UnitCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reverse-delete guarantees 1-minimality: removing any single element
+	// must break reconstruction.
+	d := decode.New(g)
+	sel := make([]bool, g.Total)
+	for _, v := range plan {
+		sel[v] = true
+	}
+	for _, v := range plan {
+		sel[v] = false
+		var erased []int
+		for u := 0; u < g.Total; u++ {
+			if !sel[u] {
+				erased = append(erased, u)
+			}
+		}
+		if d.Recoverable(erased) {
+			t.Errorf("plan element %d is redundant", v)
+		}
+		sel[v] = true
+	}
+}
+
+func TestPlanRespectsCosts(t *testing.T) {
+	g := tornado96(t)
+	avail := allAvailable(g.Total)
+	avail[0] = false // force reconstruction through checks
+	// Make one specific check prohibitively expensive; the plan should
+	// avoid it if any alternative exists.
+	expensive := int(g.Parents(0)[0])
+	cost := func(v int) float64 {
+		if v == expensive {
+			return 1000
+		}
+		return 1
+	}
+	plan, total, err := Plan(g, avail, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range plan {
+		if v == expensive && total >= 1000 {
+			// Only acceptable if unavoidable; with degree >= 2 there is an
+			// alternative check, so this should not happen.
+			t.Errorf("plan used the expensive check %d", expensive)
+		}
+	}
+}
+
+func TestPlanForbiddenNodes(t *testing.T) {
+	g := tornado96(t)
+	avail := allAvailable(g.Total)
+	cost := func(v int) float64 {
+		if g.IsData(v) && v < 6 {
+			return math.Inf(1) // forbid a handful of data nodes
+		}
+		return 1
+	}
+	plan, _, err := Plan(g, avail, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range plan {
+		if g.IsData(v) && v < 6 {
+			t.Errorf("plan used forbidden node %d", v)
+		}
+	}
+}
+
+func TestPlanInsufficient(t *testing.T) {
+	g := tornado96(t)
+	avail := make([]bool, g.Total) // nothing available
+	if _, _, err := Plan(g, avail, UnitCost); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("err = %v, want ErrInsufficient", err)
+	}
+	if _, _, err := Plan(g, make([]bool, 5), UnitCost); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestPlanNilCostDefaultsToUnit(t *testing.T) {
+	g := tornado96(t)
+	plan, total, err := Plan(g, allAvailable(g.Total), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != float64(len(plan)) {
+		t.Errorf("unit-cost total = %v for %d blocks", total, len(plan))
+	}
+}
+
+// End-to-end: execute a plan against a real codec stripe and verify the
+// payload comes back.
+func TestPlanDrivesCodecDecode(t *testing.T) {
+	g := tornado96(t)
+	c, err := codec.New(g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, c.Capacity())
+	rng := rand.New(rand.NewPCG(8, 8))
+	for i := range payload {
+		payload[i] = byte(rng.IntN(256))
+	}
+	blocks, err := c.Encode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avail := allAvailable(g.Total)
+	for _, v := range []int{0, 1, 2, 60} {
+		avail[v] = false
+	}
+	plan, _, err := Plan(g, avail, UnitCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fetch only the planned blocks.
+	fetched := make([][]byte, g.Total)
+	for _, v := range plan {
+		fetched[v] = blocks[v]
+	}
+	got, err := c.Decode(fetched, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != payload[i] {
+			t.Fatal("payload mismatch after planned retrieval")
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"tornado/internal/decode"
+	"tornado/internal/graph"
+	"tornado/internal/stats"
+)
+
+// AnnualLossMonteCarlo estimates a graph system's one-year data-loss
+// probability by direct simulation of the §5.1 model: each trial fails
+// every device independently with probability afr and asks the decoder
+// whether data survived. It is the end-to-end cross-check of Equation
+// (3)'s composition (binomial weights × conditional failure profile) —
+// both must converge to the same number.
+func AnnualLossMonteCarlo(g *graph.Graph, afr float64, trials int64, seed uint64, workers int) (stats.Proportion, error) {
+	if afr < 0 || afr > 1 {
+		return stats.Proportion{}, fmt.Errorf("sim: afr %v out of [0,1]", afr)
+	}
+	if trials <= 0 {
+		trials = 10000
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	per := trials / int64(workers)
+	rem := trials % int64(workers)
+
+	var mu sync.Mutex
+	var agg stats.Proportion
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		n := per
+		if int64(w) < rem {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(worker int, n int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, 0xAFA<<20|uint64(worker)))
+			d := decode.New(g)
+			erased := make([]int, 0, g.Total)
+			var hits int64
+			for t := int64(0); t < n; t++ {
+				erased = erased[:0]
+				for v := 0; v < g.Total; v++ {
+					if rng.Float64() < afr {
+						erased = append(erased, v)
+					}
+				}
+				if len(erased) > 0 && !d.Recoverable(erased) {
+					hits++
+				}
+			}
+			mu.Lock()
+			agg.Add(hits, n)
+			mu.Unlock()
+		}(w, n)
+	}
+	wg.Wait()
+	return agg, nil
+}

@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"tornado/internal/combin"
+	"tornado/internal/decode"
+	"tornado/internal/graph"
+	"tornado/internal/stats"
+)
+
+// ProfileOptions tunes the reconstruction-failure profile (paper §3: "the
+// fraction of failed reconstructions for a large number of test cases").
+type ProfileOptions struct {
+	// Trials is the Monte Carlo sample count per offline-node count. The
+	// paper used 10–34 million per point (962,144,153 cases, 34 CPU-days);
+	// the default of 20,000 preserves the curve shape on a laptop.
+	Trials int64
+	// ExhaustiveLimit switches a point to exact enumeration when
+	// C(total, k) is at most this bound. Default 100,000.
+	ExhaustiveLimit int64
+	// MinK and MaxK bound the examined offline counts; MaxK=0 means the
+	// whole range up to Total.
+	MinK, MaxK int
+	// Workers is the number of goroutines; default GOMAXPROCS.
+	Workers int
+	// Seed drives all sampling; a fixed seed reproduces the profile.
+	Seed uint64
+}
+
+func (o *ProfileOptions) setDefaults(total int) {
+	if o.Trials <= 0 {
+		o.Trials = 20000
+	}
+	if o.ExhaustiveLimit <= 0 {
+		o.ExhaustiveLimit = 100000
+	}
+	if o.MinK <= 0 {
+		o.MinK = 1
+	}
+	if o.MaxK <= 0 || o.MaxK > total {
+		o.MaxK = total
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Profile holds the measured failure fraction for each number of offline
+// nodes. Entry k answers: with exactly k randomly chosen devices offline,
+// what fraction of cases lose data?
+type Profile struct {
+	GraphName string
+	Total     int // nodes in the graph
+	Data      int // data nodes
+	Fail      []stats.Proportion
+	Exact     []bool // Fail[k] computed by full enumeration rather than sampling
+}
+
+// FailureProfile measures g's reconstruction-failure profile.
+func FailureProfile(g *graph.Graph, opts ProfileOptions) (*Profile, error) {
+	opts.setDefaults(g.Total)
+	p := &Profile{
+		GraphName: g.Name,
+		Total:     g.Total,
+		Data:      g.Data,
+		Fail:      make([]stats.Proportion, g.Total+1),
+		Exact:     make([]bool, g.Total+1),
+	}
+	// k=0 is trivially exact: nothing missing.
+	p.Fail[0] = stats.Proportion{Hits: 0, Trials: 1}
+	p.Exact[0] = true
+
+	for k := opts.MinK; k <= opts.MaxK; k++ {
+		if c, ok := combin.BinomialInt64(g.Total, k); ok && c <= opts.ExhaustiveLimit {
+			kr, err := ExhaustiveK(g, k, 1, opts.Workers)
+			if err != nil {
+				return nil, err
+			}
+			p.Fail[k] = stats.Proportion{Hits: kr.FailureCount, Trials: kr.Tested}
+			p.Exact[k] = true
+			continue
+		}
+		prop, err := sampleK(g, k, opts)
+		if err != nil {
+			return nil, err
+		}
+		p.Fail[k] = prop
+	}
+	return p, nil
+}
+
+// sampleK estimates the failure fraction for exactly k offline nodes by
+// uniform random sampling, fanned out over workers.
+func sampleK(g *graph.Graph, k int, opts ProfileOptions) (stats.Proportion, error) {
+	if k < 1 || k > g.Total {
+		return stats.Proportion{}, fmt.Errorf("sim: cardinality %d out of range for %d nodes", k, g.Total)
+	}
+	per := opts.Trials / int64(opts.Workers)
+	rem := opts.Trials % int64(opts.Workers)
+
+	var mu sync.Mutex
+	var agg stats.Proportion
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		n := per
+		if int64(w) < rem {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(worker int, trials int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(opts.Seed, uint64(k)<<32|uint64(worker)))
+			d := decode.New(g)
+			idx := make([]int, k)
+			scratch := make(map[int]bool, k)
+			var hits int64
+			for i := int64(0); i < trials; i++ {
+				combin.RandomSubset(idx, g.Total, rng, scratch)
+				if idx[0] < g.Data && !d.Recoverable(idx) {
+					hits++
+				}
+			}
+			mu.Lock()
+			agg.Add(hits, trials)
+			mu.Unlock()
+		}(w, n)
+	}
+	wg.Wait()
+	return agg, nil
+}
+
+// FailFraction returns the measured failure fraction with exactly k nodes
+// offline. k >= Total reports 1. An unmeasured point (outside the
+// MinK..MaxK window) reports the nearest measured point below it — the
+// true curve is nondecreasing in k, so this is a conservative monotone
+// extension — or 0 when nothing below was measured.
+func (p *Profile) FailFraction(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= p.Total {
+		return 1
+	}
+	for ; k >= 0; k-- {
+		if p.Fail[k].Trials > 0 {
+			return p.Fail[k].Estimate()
+		}
+	}
+	return 0
+}
+
+// FirstObservedFailure returns the smallest offline count whose measured
+// failure fraction is nonzero, or 0 when none was observed.
+func (p *Profile) FirstObservedFailure() int {
+	for k := 1; k <= p.Total; k++ {
+		if k < len(p.Fail) && p.Fail[k].Hits > 0 {
+			return k
+		}
+	}
+	return 0
+}
+
+// AvgNodesToReconstruct returns the expected minimum number of online nodes
+// needed for reconstruction — the paper's "average number of nodes capable
+// of reconstructing the data" (Tables 1–4). With T the online-count
+// threshold, E[T] = Σ_m P(T > m) and P(T > m) is the failure fraction with
+// m nodes online, i.e. Total−m offline.
+func (p *Profile) AvgNodesToReconstruct() float64 {
+	sum := 0.0
+	for m := 0; m < p.Total; m++ {
+		sum += p.FailFraction(p.Total - m)
+	}
+	return sum
+}
+
+// AvgToReconstructRatio is AvgNodesToReconstruct divided by the data node
+// count — the parenthesized ratio the paper prints next to the average
+// (e.g. "73.77 (1.53)").
+func (p *Profile) AvgToReconstructRatio() float64 {
+	if p.Data == 0 {
+		return 0
+	}
+	return p.AvgNodesToReconstruct() / float64(p.Data)
+}
+
+// NodesForSuccessProbability returns the minimum number of online nodes
+// whose measured reconstruction success probability reaches prob. Table 6
+// uses prob = 0.5 ("the minimum number of nodes that provide a 50%
+// probability of being able to reconstruct the stripe").
+func (p *Profile) NodesForSuccessProbability(prob float64) int {
+	for m := 0; m <= p.Total; m++ {
+		if 1-p.FailFraction(p.Total-m) >= prob {
+			return m
+		}
+	}
+	return p.Total
+}
+
+// Overhead returns NodesForSuccessProbability(0.5) divided by the data node
+// count — Table 6's overhead column.
+func (p *Profile) Overhead() float64 {
+	if p.Data == 0 {
+		return 0
+	}
+	return float64(p.NodesForSuccessProbability(0.5)) / float64(p.Data)
+}

@@ -1,0 +1,150 @@
+// Package sim implements the paper's automated testing system (§3): the
+// exhaustive combinatorial worst-case search that finds the minimum number
+// of lost nodes causing data loss, and the Monte Carlo reconstruction-
+// failure profiles that estimate the fraction of failed reconstructions for
+// each number of offline devices. Both fan out over goroutines; each worker
+// owns a private decoder and enumerates a contiguous rank range of the
+// combination space.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+
+	"tornado/internal/combin"
+	"tornado/internal/decode"
+	"tornado/internal/graph"
+)
+
+// WorstCaseOptions tunes the exhaustive search.
+type WorstCaseOptions struct {
+	// MaxK is the largest erasure cardinality examined (the paper searched
+	// (96 choose 1) through (96 choose 6)). Default 5.
+	MaxK int
+	// MaxFailures caps how many failing sets are recorded verbatim (the
+	// total count is always exact). Default 256.
+	MaxFailures int
+	// Workers is the number of goroutines; default GOMAXPROCS.
+	Workers int
+	// KeepGoing examines all cardinalities up to MaxK even after a failing
+	// one is found (the default stops at the first failing cardinality,
+	// which defines the worst case).
+	KeepGoing bool
+}
+
+func (o *WorstCaseOptions) setDefaults() {
+	if o.MaxK <= 0 {
+		o.MaxK = 5
+	}
+	if o.MaxFailures <= 0 {
+		o.MaxFailures = 256
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// KResult reports the exhaustive examination of one erasure cardinality.
+type KResult struct {
+	K            int
+	Tested       int64   // combinations examined (= C(total, k))
+	FailureCount int64   // combinations that lost data
+	Failures     [][]int // recorded failing sets, up to MaxFailures
+}
+
+// WorstCaseResult summarizes a search.
+type WorstCaseResult struct {
+	// FirstFailure is the smallest cardinality that lost data — the
+	// paper's headline fault-tolerance metric ("first failure"). Zero when
+	// no failure was found up to MaxK.
+	FirstFailure int
+	Found        bool
+	PerK         []KResult // one entry per examined cardinality, ascending
+	Tested       int64     // total combinations examined
+}
+
+// WorstCase exhaustively searches erasure combinations of increasing
+// cardinality for the graph's worst-case failure scenario (paper §3:
+// "(96 choose 1 lost block) through (96 choose 6)").
+func WorstCase(g *graph.Graph, opts WorstCaseOptions) (WorstCaseResult, error) {
+	opts.setDefaults()
+	var res WorstCaseResult
+	for k := 1; k <= opts.MaxK; k++ {
+		kr, err := ExhaustiveK(g, k, opts.MaxFailures, opts.Workers)
+		if err != nil {
+			return res, err
+		}
+		res.PerK = append(res.PerK, kr)
+		res.Tested += kr.Tested
+		if kr.FailureCount > 0 && !res.Found {
+			res.Found = true
+			res.FirstFailure = k
+			if !opts.KeepGoing {
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// ExhaustiveK examines every erasure combination of exactly k of the
+// graph's nodes, returning the exact failure count and up to maxFailures
+// recorded failing sets. The rank space is split across workers.
+func ExhaustiveK(g *graph.Graph, k, maxFailures, workers int) (KResult, error) {
+	if k < 1 || k > g.Total {
+		return KResult{}, fmt.Errorf("sim: cardinality %d out of range for %d nodes", k, g.Total)
+	}
+	total, ok := combin.BinomialInt64(g.Total, k)
+	if !ok {
+		return KResult{}, fmt.Errorf("sim: C(%d,%d) overflows the rank space", g.Total, k)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ranges := combin.SplitRanges(total, workers)
+
+	var (
+		mu       sync.Mutex
+		failures [][]int
+		count    int64
+	)
+	var wg sync.WaitGroup
+	for _, rg := range ranges {
+		wg.Add(1)
+		go func(lo, hi int64) {
+			defer wg.Done()
+			d := decode.New(g)
+			idx := make([]int, k)
+			combin.Unrank(idx, g.Total, lo)
+			var localCount int64
+			var localFails [][]int
+			for r := lo; r < hi; r++ {
+				// A combination touching no data node cannot lose data;
+				// idx is sorted, so idx[0] >= Data means all-check.
+				if idx[0] < g.Data && !d.Recoverable(idx) {
+					localCount++
+					if len(localFails) < maxFailures {
+						localFails = append(localFails, slices.Clone(idx))
+					}
+				}
+				if r+1 < hi {
+					combin.Next(idx, g.Total)
+				}
+			}
+			mu.Lock()
+			count += localCount
+			for _, f := range localFails {
+				if len(failures) < maxFailures {
+					failures = append(failures, f)
+				}
+			}
+			mu.Unlock()
+		}(rg[0], rg[1])
+	}
+	wg.Wait()
+
+	slices.SortFunc(failures, slices.Compare)
+	return KResult{K: k, Tested: total, FailureCount: count, Failures: failures}, nil
+}

@@ -1,0 +1,162 @@
+// Package stats provides the small statistical helpers used when reporting
+// simulation results: sample means and deviations, Wilson score intervals
+// for Monte Carlo failure fractions, and simple histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator) of xs, or 0
+// when fewer than two samples are present.
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Median returns the median of xs, or 0 for an empty slice.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Proportion is a Monte Carlo success/failure tally.
+type Proportion struct {
+	Hits   int64 // number of "positive" observations (e.g. failed reconstructions)
+	Trials int64
+}
+
+// Add records n additional observations of which hits were positive.
+func (p *Proportion) Add(hits, n int64) {
+	p.Hits += hits
+	p.Trials += n
+}
+
+// Estimate returns the point estimate Hits/Trials, or 0 when no trials were
+// recorded.
+func (p Proportion) Estimate() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	return float64(p.Hits) / float64(p.Trials)
+}
+
+// Wilson returns the Wilson score interval for the proportion at the given
+// z value (z=1.96 for a 95% interval). For zero trials it returns (0, 1).
+func (p Proportion) Wilson(z float64) (lo, hi float64) {
+	n := float64(p.Trials)
+	if n == 0 {
+		return 0, 1
+	}
+	phat := p.Estimate()
+	z2 := z * z
+	den := 1 + z2/n
+	center := (phat + z2/(2*n)) / den
+	half := z / den * math.Sqrt(phat*(1-phat)/n+z2/(4*n*n))
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// String formats the proportion with its 95% Wilson interval.
+func (p Proportion) String() string {
+	lo, hi := p.Wilson(1.96)
+	return fmt.Sprintf("%.6g [%.6g, %.6g] (%d/%d)", p.Estimate(), lo, hi, p.Hits, p.Trials)
+}
+
+// Histogram is a fixed-bin integer histogram over [0, Bins).
+type Histogram struct {
+	Counts []int64
+	Total  int64
+}
+
+// NewHistogram returns a histogram with bins buckets.
+func NewHistogram(bins int) *Histogram {
+	return &Histogram{Counts: make([]int64, bins)}
+}
+
+// Observe records value v; out-of-range values are clamped to the edge bins.
+func (h *Histogram) Observe(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.Counts) {
+		v = len(h.Counts) - 1
+	}
+	h.Counts[v]++
+	h.Total++
+}
+
+// Fraction returns the fraction of observations in bin v.
+func (h *Histogram) Fraction(v int) float64 {
+	if h.Total == 0 || v < 0 || v >= len(h.Counts) {
+		return 0
+	}
+	return float64(h.Counts[v]) / float64(h.Total)
+}
+
+// MeanValue returns the mean of the observed values.
+func (h *Histogram) MeanValue() float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	s := 0.0
+	for v, c := range h.Counts {
+		s += float64(v) * float64(c)
+	}
+	return s / float64(h.Total)
+}
+
+// Quantile returns the smallest bin v such that at least q of the mass lies
+// in bins <= v. q must be in [0, 1].
+func (h *Histogram) Quantile(q float64) int {
+	if h.Total == 0 {
+		return 0
+	}
+	target := q * float64(h.Total)
+	var cum int64
+	for v, c := range h.Counts {
+		cum += c
+		if float64(cum) >= target {
+			return v
+		}
+	}
+	return len(h.Counts) - 1
+}

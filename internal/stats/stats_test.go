@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); !approx(got, 2.5, 1e-12) {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Errorf("StdDev single = %v", got)
+	}
+	// Known: sample stddev of {2,4,4,4,5,5,7,9} with n-1 = 2.138...
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !approx(got, 2.13808993, 1e-6) {
+		t.Errorf("StdDev = %v", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even median = %v", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Errorf("empty median = %v", got)
+	}
+	// Median must not mutate its input.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Median mutated input: %v", in)
+	}
+}
+
+func TestProportion(t *testing.T) {
+	var p Proportion
+	if got := p.Estimate(); got != 0 {
+		t.Errorf("empty estimate = %v", got)
+	}
+	lo, hi := p.Wilson(1.96)
+	if lo != 0 || hi != 1 {
+		t.Errorf("empty Wilson = [%v,%v]", lo, hi)
+	}
+	p.Add(14, 61124064)
+	if !approx(p.Estimate(), 14.0/61124064, 1e-15) {
+		t.Errorf("estimate = %v", p.Estimate())
+	}
+	lo, hi = p.Wilson(1.96)
+	if lo < 0 || hi > 1 || lo > p.Estimate() || hi < p.Estimate() {
+		t.Errorf("Wilson interval [%v,%v] does not bracket %v", lo, hi, p.Estimate())
+	}
+	if p.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestWilsonHalfAndHalf(t *testing.T) {
+	p := Proportion{Hits: 500, Trials: 1000}
+	lo, hi := p.Wilson(1.96)
+	if !approx(lo, 0.469, 0.003) || !approx(hi, 0.531, 0.003) {
+		t.Errorf("Wilson(0.5, n=1000) = [%v,%v]", lo, hi)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10)
+	for _, v := range []int{1, 1, 2, 3, 3, 3, -5, 100} {
+		h.Observe(v)
+	}
+	if h.Total != 8 {
+		t.Errorf("Total = %d", h.Total)
+	}
+	if h.Counts[0] != 1 || h.Counts[9] != 1 {
+		t.Errorf("clamping failed: %v", h.Counts)
+	}
+	if !approx(h.Fraction(3), 3.0/8, 1e-12) {
+		t.Errorf("Fraction(3) = %v", h.Fraction(3))
+	}
+	if h.Fraction(-1) != 0 || h.Fraction(10) != 0 {
+		t.Error("out-of-range Fraction should be 0")
+	}
+}
+
+func TestHistogramMeanQuantile(t *testing.T) {
+	h := NewHistogram(100)
+	for i := 0; i < 100; i++ {
+		h.Observe(i)
+	}
+	if !approx(h.MeanValue(), 49.5, 1e-12) {
+		t.Errorf("MeanValue = %v", h.MeanValue())
+	}
+	if q := h.Quantile(0.5); q != 49 {
+		t.Errorf("Quantile(0.5) = %d", q)
+	}
+	if q := h.Quantile(1.0); q != 99 {
+		t.Errorf("Quantile(1.0) = %d", q)
+	}
+	empty := NewHistogram(5)
+	if empty.MeanValue() != 0 || empty.Quantile(0.5) != 0 {
+		t.Error("empty histogram mean/quantile should be 0")
+	}
+}
+
+// Property: Wilson interval always contains the point estimate and stays in
+// [0,1] for any tally.
+func TestQuickWilsonBrackets(t *testing.T) {
+	f := func(hits, trials uint32) bool {
+		n := int64(trials%100000) + 1
+		h := int64(hits) % (n + 1)
+		p := Proportion{Hits: h, Trials: n}
+		lo, hi := p.Wilson(1.96)
+		e := p.Estimate()
+		return lo >= 0 && hi <= 1 && lo <= e+1e-12 && hi >= e-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Mean of concatenated slices is the weighted mean.
+func TestQuickMeanLinear(t *testing.T) {
+	f := func(a, b []float64) bool {
+		for _, v := range append(append([]float64{}, a...), b...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true // skip pathological inputs
+			}
+		}
+		all := append(append([]float64{}, a...), b...)
+		if len(all) == 0 {
+			return Mean(all) == 0
+		}
+		want := (Mean(a)*float64(len(a)) + Mean(b)*float64(len(b))) / float64(len(all))
+		return approx(Mean(all), want, 1e-6*(1+math.Abs(want)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,203 @@
+package steward
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"tornado/internal/archive"
+	"tornado/internal/graph"
+	"tornado/internal/graphml"
+)
+
+// Errors surfaced by the client, mapped from the site API's status codes.
+var (
+	// ErrNotFound mirrors archive.ErrNotFound across the wire.
+	ErrNotFound = archive.ErrNotFound
+	// ErrExists mirrors archive.ErrExists across the wire.
+	ErrExists = archive.ErrExists
+	// ErrDataLoss mirrors archive.ErrDataLoss across the wire.
+	ErrDataLoss = archive.ErrDataLoss
+)
+
+// Client is a typed client for one stewarding site.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the site at baseURL. httpClient may be
+// nil for http.DefaultClient.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: baseURL, http: httpClient}
+}
+
+func (c *Client) do(method, path string, body []byte) ([]byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case resp.StatusCode < 300:
+		return data, nil
+	case resp.StatusCode == http.StatusNotFound:
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, bytes.TrimSpace(data))
+	case resp.StatusCode == http.StatusConflict:
+		return nil, fmt.Errorf("%w: %s", ErrExists, bytes.TrimSpace(data))
+	case resp.StatusCode == http.StatusGone:
+		return nil, fmt.Errorf("%w: %s", ErrDataLoss, bytes.TrimSpace(data))
+	default:
+		return nil, fmt.Errorf("steward: %s %s: %s: %s", method, path, resp.Status, bytes.TrimSpace(data))
+	}
+}
+
+// Put uploads an object.
+func (c *Client) Put(name string, data []byte) error {
+	_, err := c.do(http.MethodPut, "/objects/"+escape(name), data)
+	return err
+}
+
+// Get downloads an object, reconstructing at the site if needed.
+func (c *Client) Get(name string) ([]byte, error) {
+	return c.do(http.MethodGet, "/objects/"+escape(name), nil)
+}
+
+// Delete removes an object.
+func (c *Client) Delete(name string) error {
+	_, err := c.do(http.MethodDelete, "/objects/"+escape(name), nil)
+	return err
+}
+
+// Stat fetches an object's metadata.
+func (c *Client) Stat(name string) (archive.Object, error) {
+	data, err := c.do(http.MethodGet, "/stat/"+escape(name), nil)
+	if err != nil {
+		return archive.Object{}, err
+	}
+	var obj archive.Object
+	if err := json.Unmarshal(data, &obj); err != nil {
+		return archive.Object{}, fmt.Errorf("steward: stat decode: %w", err)
+	}
+	return obj, nil
+}
+
+// List fetches the site's object listing.
+func (c *Client) List() ([]archive.Object, error) {
+	data, err := c.do(http.MethodGet, "/list", nil)
+	if err != nil {
+		return nil, err
+	}
+	var objs []archive.Object
+	if err := json.Unmarshal(data, &objs); err != nil {
+		return nil, fmt.Errorf("steward: list decode: %w", err)
+	}
+	return objs, nil
+}
+
+// Layout fetches the site's striping parameters.
+func (c *Client) Layout() (archive.StripeLayout, error) {
+	data, err := c.do(http.MethodGet, "/layout", nil)
+	if err != nil {
+		return archive.StripeLayout{}, err
+	}
+	var lay archive.StripeLayout
+	if err := json.Unmarshal(data, &lay); err != nil {
+		return archive.StripeLayout{}, fmt.Errorf("steward: layout decode: %w", err)
+	}
+	return lay, nil
+}
+
+// Graph fetches the site's erasure graph (GraphML over the wire).
+func (c *Client) Graph() (*graph.Graph, error) {
+	data, err := c.do(http.MethodGet, "/graph", nil)
+	if err != nil {
+		return nil, err
+	}
+	return graphml.Decode(bytes.NewReader(data))
+}
+
+// ReadBlock fetches one verified block; missing, rotted, and out-of-range
+// blocks all report ErrNotFound.
+func (c *Client) ReadBlock(name string, stripe, node int) ([]byte, error) {
+	return c.do(http.MethodGet, fmt.Sprintf("/blocks/%s?stripe=%d&node=%d", escape(name), stripe, node), nil)
+}
+
+// WriteBlock restores one block to its home device at the site.
+func (c *Client) WriteBlock(name string, stripe, node int, payload []byte) error {
+	_, err := c.do(http.MethodPut, fmt.Sprintf("/blocks/%s?stripe=%d&node=%d", escape(name), stripe, node), payload)
+	return err
+}
+
+// PutShell registers object metadata at the site without uploading data
+// (blocks follow via WriteBlock).
+func (c *Client) PutShell(name string, size, stripes int) error {
+	_, err := c.do(http.MethodPost, fmt.Sprintf("/shell/%s?size=%d&stripes=%d", escape(name), size, stripes), nil)
+	return err
+}
+
+// Health runs a non-mutating scrub at the site and returns the report.
+func (c *Client) Health() (archive.ScrubReport, error) {
+	return c.scrub(http.MethodGet, "/health")
+}
+
+// Scrub runs a repairing scrub at the site and returns the report.
+func (c *Client) Scrub() (archive.ScrubReport, error) {
+	return c.scrub(http.MethodPost, "/scrub")
+}
+
+func (c *Client) scrub(method, path string) (archive.ScrubReport, error) {
+	data, err := c.do(method, path, nil)
+	if err != nil {
+		return archive.ScrubReport{}, err
+	}
+	var rep archive.ScrubReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return archive.ScrubReport{}, fmt.Errorf("steward: scrub decode: %w", err)
+	}
+	return rep, nil
+}
+
+// IsNotFound reports whether err is the cross-site not-found error.
+func IsNotFound(err error) bool { return errors.Is(err, ErrNotFound) }
+
+func escape(name string) string {
+	// Object names may contain slashes (they are path-like); escape each
+	// segment so the wildcard route reassembles them.
+	segs := bytes.Split([]byte(name), []byte("/"))
+	out := make([]string, len(segs))
+	for i, s := range segs {
+		out[i] = url.PathEscape(string(s))
+	}
+	return joinSlash(out)
+}
+
+func joinSlash(parts []string) string {
+	s := ""
+	for i, p := range parts {
+		if i > 0 {
+			s += "/"
+		}
+		s += p
+	}
+	return s
+}

@@ -1,0 +1,125 @@
+package steward
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestClientConnectionRefused(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1", nil) // nothing listens on port 1
+	if err := c.Put("x", []byte("data")); err == nil {
+		t.Error("put to dead site succeeded")
+	}
+	if _, err := c.List(); err == nil {
+		t.Error("list from dead site succeeded")
+	}
+}
+
+func TestClientServerErrorsMapped(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case strings.Contains(r.URL.Path, "missing"):
+			http.Error(w, "nope", http.StatusNotFound)
+		case strings.Contains(r.URL.Path, "dup"):
+			http.Error(w, "already", http.StatusConflict)
+		case strings.Contains(r.URL.Path, "lost"):
+			http.Error(w, "gone", http.StatusGone)
+		default:
+			http.Error(w, "boom", http.StatusInternalServerError)
+		}
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL, srv.Client())
+
+	if _, err := c.Get("missing"); !IsNotFound(err) {
+		t.Errorf("404 mapped to %v", err)
+	}
+	if err := c.Put("dup", nil); err == nil || IsNotFound(err) {
+		t.Errorf("409 mapped to %v", err)
+	}
+	if _, err := c.Get("lost"); err == nil || IsNotFound(err) {
+		t.Errorf("410 mapped to %v", err)
+	}
+	if _, err := c.Get("other"); err == nil {
+		t.Error("500 swallowed")
+	}
+}
+
+func TestClientGarbageJSON(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("this is not json"))
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL, srv.Client())
+	if _, err := c.List(); err == nil {
+		t.Error("garbage list accepted")
+	}
+	if _, err := c.Stat("x"); err == nil {
+		t.Error("garbage stat accepted")
+	}
+	if _, err := c.Layout(); err == nil {
+		t.Error("garbage layout accepted")
+	}
+	if _, err := c.Health(); err == nil {
+		t.Error("garbage health accepted")
+	}
+	if _, err := c.Graph(); err == nil {
+		t.Error("garbage graph accepted")
+	}
+}
+
+func TestServerBadBlockParams(t *testing.T) {
+	s := newSite(t, 50, 64)
+	for _, path := range []string{
+		"/blocks/obj",                      // no coords
+		"/blocks/obj?stripe=x&node=0",      // bad stripe
+		"/blocks/obj?stripe=0&node=banana", // bad node
+		"/shell/obj?size=x&stripes=1",      // bad size
+		"/shell/obj?size=1&stripes=x",      // bad stripes
+	} {
+		resp, err := s.httpSrv.Client().Get(s.httpSrv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		// /shell is POST-only; GET gives 405, others 400 — either way not 2xx.
+		if resp.StatusCode < 400 {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestServerMethodRouting(t *testing.T) {
+	s := newSite(t, 51, 64)
+	// POST to an object path is not routed.
+	resp, err := s.httpSrv.Client().Post(s.httpSrv.URL+"/objects/x", "application/octet-stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed && resp.StatusCode != http.StatusNotFound {
+		t.Errorf("POST /objects status %d", resp.StatusCode)
+	}
+}
+
+func TestReplicatorPutRollsBack(t *testing.T) {
+	a := newSite(t, 52, 64)
+	b := newSite(t, 53, 64)
+	r, err := NewReplicator(a.client, b.client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-claim the name at site B so the replicated put fails there.
+	if err := b.client.Put("obj", []byte("previous")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put("obj", randPayload(100, 52)); err == nil {
+		t.Fatal("conflicting put succeeded")
+	}
+	// The rollback must have removed site A's copy.
+	if _, err := a.client.Get("obj"); !IsNotFound(err) {
+		t.Errorf("site A still holds the rolled-back object: %v", err)
+	}
+}

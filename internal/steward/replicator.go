@@ -1,0 +1,231 @@
+package steward
+
+import (
+	"errors"
+	"fmt"
+
+	"tornado/internal/archive"
+	"tornado/internal/codec"
+)
+
+// Replicator stewards objects across two or more sites, each protecting
+// its replica with its own (ideally complementary) Tornado graph — the
+// federated architecture of paper §5.3. Reads fall back across sites, and
+// when every site individually reports data loss, ExchangeRecover runs the
+// real byte-level version of the paper's block exchange: partial peeling
+// at each site, recovered data blocks shared between sites, repeated to
+// fixpoint.
+type Replicator struct {
+	sites  []*Client
+	codecs []*codec.Codec
+	layout archive.StripeLayout
+}
+
+// NewReplicator connects the sites and verifies they agree on striping
+// (block size and data-node count must match for blocks to be exchanged;
+// graphs may — and should — differ).
+func NewReplicator(sites ...*Client) (*Replicator, error) {
+	if len(sites) < 2 {
+		return nil, fmt.Errorf("steward: need at least 2 sites, got %d", len(sites))
+	}
+	r := &Replicator{sites: sites}
+	for i, c := range sites {
+		lay, err := c.Layout()
+		if err != nil {
+			return nil, fmt.Errorf("steward: site %d layout: %w", i, err)
+		}
+		if i == 0 {
+			r.layout = lay
+		} else if lay.BlockSize != r.layout.BlockSize || lay.DataNodes != r.layout.DataNodes {
+			return nil, fmt.Errorf("steward: site %d striping (%d×%d) differs from site 0 (%d×%d)",
+				i, lay.DataNodes, lay.BlockSize, r.layout.DataNodes, r.layout.BlockSize)
+		}
+		g, err := c.Graph()
+		if err != nil {
+			return nil, fmt.Errorf("steward: site %d graph: %w", i, err)
+		}
+		cd, err := codec.New(g, lay.BlockSize)
+		if err != nil {
+			return nil, err
+		}
+		r.codecs = append(r.codecs, cd)
+	}
+	return r, nil
+}
+
+// Sites returns the number of federated sites.
+func (r *Replicator) Sites() int { return len(r.sites) }
+
+// Put stores the object at every site; each site encodes it with its own
+// graph. Partial failures are rolled back so the namespace stays
+// consistent.
+func (r *Replicator) Put(name string, data []byte) error {
+	for i, c := range r.sites {
+		if err := c.Put(name, data); err != nil {
+			for _, back := range r.sites[:i] {
+				_ = back.Delete(name)
+			}
+			return fmt.Errorf("steward: put at site %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Delete removes the object from every site.
+func (r *Replicator) Delete(name string) error {
+	var firstErr error
+	for i, c := range r.sites {
+		if err := c.Delete(name); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("steward: delete at site %d: %w", i, err)
+		}
+	}
+	return firstErr
+}
+
+// Get retrieves the object: each site is tried in turn, and if all report
+// data loss the federated block exchange runs.
+func (r *Replicator) Get(name string) ([]byte, error) {
+	sawLoss := false
+	for _, c := range r.sites {
+		data, err := c.Get(name)
+		if err == nil {
+			return data, nil
+		}
+		if errors.Is(err, ErrDataLoss) {
+			sawLoss = true
+			continue
+		}
+		if IsNotFound(err) {
+			continue
+		}
+		return nil, err
+	}
+	if sawLoss {
+		return r.ExchangeRecover(name)
+	}
+	return nil, fmt.Errorf("%w: %q at all %d sites", ErrNotFound, name, len(r.sites))
+}
+
+// ExchangeRecover reconstructs an object that no site can serve alone by
+// exchanging blocks between sites (paper §5.3): every reachable block of
+// each stripe is fetched from every site, each site's codec peels as far
+// as it can, data blocks recovered at any site are copied into the
+// others' partial decodes, and the loop repeats until some site completes
+// or no progress is possible.
+func (r *Replicator) ExchangeRecover(name string) ([]byte, error) {
+	obj, err := r.statAny(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, obj.Size)
+	for st := 0; st < obj.Stripes; st++ {
+		want := obj.Size - st*r.stripeCapacity()
+		if want > r.stripeCapacity() {
+			want = r.stripeCapacity()
+		}
+		payload, err := r.recoverStripe(name, st, want)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, payload...)
+	}
+	return out, nil
+}
+
+func (r *Replicator) stripeCapacity() int { return r.layout.DataNodes * r.layout.BlockSize }
+
+func (r *Replicator) statAny(name string) (archive.Object, error) {
+	var lastErr error
+	for _, c := range r.sites {
+		obj, err := c.Stat(name)
+		if err == nil {
+			return obj, nil
+		}
+		lastErr = err
+	}
+	return archive.Object{}, fmt.Errorf("steward: %q unknown at every site: %w", name, lastErr)
+}
+
+func (r *Replicator) recoverStripe(name string, stripe, payloadLen int) ([]byte, error) {
+	// Fetch what each site still has.
+	perSite := make([][][]byte, len(r.sites))
+	for i, c := range r.sites {
+		blocks := make([][]byte, r.codecs[i].Graph().Total)
+		for node := range blocks {
+			b, err := c.ReadBlock(name, stripe, node)
+			if err == nil {
+				blocks[node] = b
+			}
+		}
+		perSite[i] = blocks
+	}
+
+	data := r.layout.DataNodes
+	for {
+		// Let every site peel as far as it can (Repair fills recovered
+		// blocks in place even when it ultimately fails).
+		for i := range r.sites {
+			if err := r.codecs[i].Repair(perSite[i]); err == nil {
+				return r.codecs[i].Decode(perSite[i], payloadLen)
+			}
+		}
+		// Exchange: propagate any data block one site holds to the rest.
+		progress := false
+		for v := 0; v < data; v++ {
+			var have []byte
+			for i := range r.sites {
+				if perSite[i][v] != nil {
+					have = perSite[i][v]
+					break
+				}
+			}
+			if have == nil {
+				continue
+			}
+			for i := range r.sites {
+				if perSite[i][v] == nil {
+					perSite[i][v] = have
+					progress = true
+				}
+			}
+		}
+		if !progress {
+			return nil, fmt.Errorf("%w: %q stripe %d lost at all %d sites even with block exchange",
+				ErrDataLoss, name, stripe, len(r.sites))
+		}
+	}
+}
+
+// RestoreSites pushes the recovered object's data blocks back to every
+// site and triggers a repairing scrub so each site re-derives its own
+// check blocks — the "restoring just one critical data node" cycle closed.
+func (r *Replicator) RestoreSites(name string, data []byte) error {
+	obj, err := r.statAny(name)
+	if err != nil {
+		return err
+	}
+	cap := r.stripeCapacity()
+	for i, c := range r.sites {
+		blocksDone := 0
+		for st := 0; st < obj.Stripes; st++ {
+			lo := st * cap
+			hi := min(lo+cap, len(data))
+			blocks, err := r.codecs[i].Encode(data[lo:hi])
+			if err != nil {
+				return err
+			}
+			for node, b := range blocks {
+				if err := c.WriteBlock(name, st, node, b); err == nil {
+					blocksDone++
+				}
+			}
+		}
+		if blocksDone == 0 {
+			return fmt.Errorf("steward: site %d accepted no restored blocks", i)
+		}
+		if _, err := c.Scrub(); err != nil {
+			return fmt.Errorf("steward: site %d scrub after restore: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+// Package steward turns archive sites into a federated data stewarding
+// system (paper §5.3, §6): each site serves its Tornado-coded object store
+// over HTTP — object upload/download, block-level access for inter-site
+// exchange, scrubbing and health introspection — and a Replicator stewards
+// every object across two or more sites with complementary graphs,
+// performing real byte-level block exchange when a failure pattern defeats
+// the sites individually ("by allowing the replicas to exchange the
+// missing data nodes, restoring just one critical data node allows the
+// data graph to be reconstructed even when both graphs cannot
+// independently perform the reconstruction").
+package steward
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"tornado/internal/archive"
+	"tornado/internal/graphml"
+)
+
+// Server exposes one archive site over HTTP. It implements http.Handler.
+type Server struct {
+	store *archive.Store
+	mux   *http.ServeMux
+}
+
+// NewServer wraps a site's store.
+func NewServer(store *archive.Store) *Server {
+	s := &Server{store: store, mux: http.NewServeMux()}
+	s.mux.HandleFunc("PUT /objects/{name...}", s.putObject)
+	s.mux.HandleFunc("GET /objects/{name...}", s.getObject)
+	s.mux.HandleFunc("DELETE /objects/{name...}", s.deleteObject)
+	s.mux.HandleFunc("GET /stat/{name...}", s.statObject)
+	s.mux.HandleFunc("GET /list", s.listObjects)
+	s.mux.HandleFunc("GET /layout", s.layout)
+	s.mux.HandleFunc("GET /graph", s.graph)
+	s.mux.HandleFunc("GET /blocks/{name...}", s.getBlock)
+	s.mux.HandleFunc("PUT /blocks/{name...}", s.putBlock)
+	s.mux.HandleFunc("POST /shell/{name...}", s.putShell)
+	s.mux.HandleFunc("GET /health", s.health)
+	s.mux.HandleFunc("POST /scrub", s.scrub)
+	return s
+}
+
+// ServeHTTP dispatches to the site API.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Store returns the underlying archive (for test instrumentation).
+func (s *Server) Store() *archive.Store { return s.store }
+
+func httpError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, archive.ErrNotFound):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, archive.ErrExists):
+		http.Error(w, err.Error(), http.StatusConflict)
+	case errors.Is(err, archive.ErrDataLoss):
+		http.Error(w, err.Error(), http.StatusGone)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) putObject(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<30))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.store.Put(r.PathValue("name"), body); err != nil {
+		httpError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+}
+
+func (s *Server) getObject(w http.ResponseWriter, r *http.Request) {
+	data, stats, err := s.store.Get(r.PathValue("name"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("X-Devices-Accessed", strconv.Itoa(stats.DevicesAccessed))
+	w.Header().Set("X-Blocks-Repaired", strconv.Itoa(stats.BlocksRepaired))
+	w.Write(data)
+}
+
+func (s *Server) deleteObject(w http.ResponseWriter, r *http.Request) {
+	if err := s.store.Delete(r.PathValue("name")); err != nil {
+		httpError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) statObject(w http.ResponseWriter, r *http.Request) {
+	obj, err := s.store.Stat(r.PathValue("name"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, obj)
+}
+
+func (s *Server) listObjects(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.store.List())
+}
+
+func (s *Server) layout(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.store.Layout())
+}
+
+func (s *Server) graph(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	if err := graphml.Encode(&buf, s.store.Graph()); err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	w.Write(buf.Bytes())
+}
+
+func blockCoords(r *http.Request) (stripe, node int, err error) {
+	stripe, err = strconv.Atoi(r.URL.Query().Get("stripe"))
+	if err != nil {
+		return 0, 0, fmt.Errorf("steward: bad stripe: %w", err)
+	}
+	node, err = strconv.Atoi(r.URL.Query().Get("node"))
+	if err != nil {
+		return 0, 0, fmt.Errorf("steward: bad node: %w", err)
+	}
+	return stripe, node, nil
+}
+
+func (s *Server) getBlock(w http.ResponseWriter, r *http.Request) {
+	stripe, node, err := blockCoords(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	b, err := s.store.ReadBlock(r.PathValue("name"), stripe, node)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Write(b)
+}
+
+func (s *Server) putBlock(w http.ResponseWriter, r *http.Request) {
+	stripe, node, err := blockCoords(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<26))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.store.WriteBlock(r.PathValue("name"), stripe, node, body); err != nil {
+		httpError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) putShell(w http.ResponseWriter, r *http.Request) {
+	size, err := strconv.Atoi(r.URL.Query().Get("size"))
+	if err != nil {
+		http.Error(w, "steward: bad size", http.StatusBadRequest)
+		return
+	}
+	stripes, err := strconv.Atoi(r.URL.Query().Get("stripes"))
+	if err != nil {
+		http.Error(w, "steward: bad stripes", http.StatusBadRequest)
+		return
+	}
+	if err := s.store.PutShell(r.PathValue("name"), size, stripes); err != nil {
+		httpError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+}
+
+func (s *Server) health(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.store.Scrub(false)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, rep)
+}
+
+func (s *Server) scrub(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.store.Scrub(true)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, rep)
+}

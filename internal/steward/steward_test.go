@@ -1,0 +1,352 @@
+package steward
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"net/http/httptest"
+	"testing"
+
+	"tornado/internal/archive"
+	"tornado/internal/core"
+	"tornado/internal/decode"
+	"tornado/internal/device"
+	"tornado/internal/graph"
+	"tornado/internal/sim"
+)
+
+// site spins up one in-process stewarding site.
+type site struct {
+	store   *archive.Store
+	devices device.Array
+	client  *Client
+	httpSrv *httptest.Server
+}
+
+func newSite(t *testing.T, seed uint64, blockSize int) *site {
+	t.Helper()
+	g, _, err := core.Generate(core.DefaultParams(), rand.New(rand.NewPCG(seed, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newSiteWithGraph(t, g, blockSize)
+}
+
+func newSiteWithGraph(t *testing.T, g *graph.Graph, blockSize int) *site {
+	t.Helper()
+	devices := device.NewArray(g.Total)
+	store, err := archive.New(g, devices, archive.Config{BlockSize: blockSize, FirstFailure: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(store))
+	t.Cleanup(srv.Close)
+	return &site{
+		store:   store,
+		devices: devices,
+		client:  NewClient(srv.URL, srv.Client()),
+		httpSrv: srv,
+	}
+}
+
+func randPayload(n int, seed uint64) []byte {
+	rng := rand.New(rand.NewPCG(seed, 0))
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.IntN(256))
+	}
+	return b
+}
+
+func TestClientServerCRUD(t *testing.T) {
+	s := newSite(t, 1, 64)
+	c := s.client
+	data := randPayload(900, 1)
+
+	if err := c.Put("docs/report.dat", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("docs/report.dat", data); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate put: %v", err)
+	}
+	got, err := c.Get("docs/report.dat")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("get: %v", err)
+	}
+	obj, err := c.Stat("docs/report.dat")
+	if err != nil || obj.Size != 900 {
+		t.Fatalf("stat: %+v %v", obj, err)
+	}
+	objs, err := c.List()
+	if err != nil || len(objs) != 1 || objs[0].Name != "docs/report.dat" {
+		t.Fatalf("list: %+v %v", objs, err)
+	}
+	if err := c.Delete("docs/report.dat"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("docs/report.dat"); !IsNotFound(err) {
+		t.Errorf("get after delete: %v", err)
+	}
+	if err := c.Delete("docs/report.dat"); !IsNotFound(err) {
+		t.Errorf("double delete: %v", err)
+	}
+}
+
+func TestClientLayoutAndGraph(t *testing.T) {
+	s := newSite(t, 2, 128)
+	lay, err := s.client.Layout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.BlockSize != 128 || lay.DataNodes != 48 || lay.NodesPerStripe != 96 {
+		t.Errorf("layout: %+v", lay)
+	}
+	g, err := s.client.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Total != 96 || g.Validate() != nil {
+		t.Errorf("graph over the wire: %v", g)
+	}
+	if g.EdgeCount() != s.store.Graph().EdgeCount() {
+		t.Error("graph edges differ after transport")
+	}
+}
+
+func TestClientBlocksAndShell(t *testing.T) {
+	s := newSite(t, 3, 64)
+	data := randPayload(500, 3)
+	if err := s.client.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.client.ReadBlock("obj", 0, 0)
+	if err != nil || !bytes.Equal(b, data[:64]) {
+		t.Fatalf("read block: %v", err)
+	}
+	if _, err := s.client.ReadBlock("obj", 0, 9999); !IsNotFound(err) {
+		t.Errorf("oob block: %v", err)
+	}
+	// Shell + block-level restore on a second object.
+	if err := s.client.PutShell("copy", len(data), 1); err != nil {
+		t.Fatal(err)
+	}
+	for node := 0; node < 96; node++ {
+		src, err := s.client.ReadBlock("obj", 0, node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.client.WriteBlock("copy", 0, node, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.client.Get("copy")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("shell copy get: %v", err)
+	}
+}
+
+func TestClientHealthAndScrub(t *testing.T) {
+	s := newSite(t, 4, 64)
+	if err := s.client.Put("obj", randPayload(300, 4)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.client.Health()
+	if err != nil || len(rep.Stripes) != 1 {
+		t.Fatalf("health: %+v %v", rep, err)
+	}
+	// Kill and replace a device; scrub over the wire must repair.
+	s.devices[7].Fail()
+	s.devices[7].Replace()
+	rep, err = s.client.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BlocksRepaired == 0 {
+		t.Errorf("remote scrub repaired nothing: %+v", rep)
+	}
+}
+
+func TestServerReportsDataLossAsGone(t *testing.T) {
+	s := newSite(t, 5, 64)
+	if err := s.client.Put("obj", randPayload(100, 5)); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range s.devices {
+		d.Fail()
+	}
+	_, err := s.client.Get("obj")
+	if !errors.Is(err, ErrDataLoss) {
+		t.Errorf("err = %v, want ErrDataLoss", err)
+	}
+}
+
+func TestReplicatorPutGetFallback(t *testing.T) {
+	a := newSite(t, 10, 64)
+	b := newSite(t, 11, 64)
+	r, err := NewReplicator(a.client, b.client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sites() != 2 {
+		t.Fatal("site count")
+	}
+	data := randPayload(1200, 10)
+	if err := r.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	// Both sites hold it independently.
+	for _, s := range []*site{a, b} {
+		got, err := s.client.Get("obj")
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("site get: %v", err)
+		}
+	}
+	// Destroy site A entirely: the replicator falls back to B.
+	for _, d := range a.devices {
+		d.Fail()
+	}
+	got, err := r.Get("obj")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("fallback get: %v", err)
+	}
+	if err := r.Delete("obj"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicatorValidation(t *testing.T) {
+	a := newSite(t, 12, 64)
+	if _, err := NewReplicator(a.client); err == nil {
+		t.Error("single site accepted")
+	}
+	mismatch := newSite(t, 13, 128)
+	if _, err := NewReplicator(a.client, mismatch.client); err == nil {
+		t.Error("mismatched block size accepted")
+	}
+}
+
+// criticalSet finds a smallest failing erasure pattern of g.
+func criticalSet(t *testing.T, g *graph.Graph) ([]int, []int) {
+	t.Helper()
+	wc, err := sim.WorstCase(g, sim.WorstCaseOptions{MaxK: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wc.Found {
+		t.Skip("graph tolerates 4 losses; no cheap critical set for the exchange scenario")
+	}
+	last := wc.PerK[len(wc.PerK)-1]
+	set := last.Failures[0]
+	res := decode.New(g).Decode(set)
+	return set, res.UnrecoveredData
+}
+
+// TestFederatedBlockExchange is the §5.3 headline with real bytes: both
+// sites are hit by their own critical failure patterns, neither can serve
+// the object, and the replicator recovers it by exchanging blocks.
+func TestFederatedBlockExchange(t *testing.T) {
+	a := newSite(t, 20, 64)
+	b := newSite(t, 21, 64)
+	setA, lostA := criticalSet(t, a.store.Graph())
+	setB, lostB := criticalSet(t, b.store.Graph())
+	// The scenario needs the two sites to lose different data blocks.
+	if overlap(lostA, lostB) {
+		t.Skipf("draws share lost blocks (%v vs %v)", lostA, lostB)
+	}
+
+	r, err := NewReplicator(a.client, b.client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randPayload(48*64, 20) // one full stripe
+	if err := r.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range setA {
+		a.devices[v].Fail()
+	}
+	for _, v := range setB {
+		b.devices[v].Fail()
+	}
+	// Each site alone reports data loss.
+	if _, err := a.client.Get("obj"); !errors.Is(err, ErrDataLoss) {
+		t.Fatalf("site A should have lost data: %v", err)
+	}
+	if _, err := b.client.Get("obj"); !errors.Is(err, ErrDataLoss) {
+		t.Fatalf("site B should have lost data: %v", err)
+	}
+	// The federation exchanges blocks and recovers.
+	got, err := r.Get("obj")
+	if err != nil {
+		t.Fatalf("federated get: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("recovered payload differs")
+	}
+
+	// Close the loop: replace dead drives, push the recovery back, and
+	// verify each site can serve alone again.
+	for _, v := range setA {
+		a.devices[v].Replace()
+	}
+	for _, v := range setB {
+		b.devices[v].Replace()
+	}
+	if err := r.RestoreSites("obj", got); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range []*site{a, b} {
+		back, err := s.client.Get("obj")
+		if err != nil || !bytes.Equal(back, data) {
+			t.Fatalf("site %d cannot serve after restore: %v", i, err)
+		}
+	}
+}
+
+func overlap(a, b []int) bool {
+	set := map[int]bool{}
+	for _, v := range a {
+		set[v] = true
+	}
+	for _, v := range b {
+		if set[v] {
+			return true
+		}
+	}
+	return false
+}
+
+func TestExchangeRecoverFailsWhenTrulyGone(t *testing.T) {
+	a := newSite(t, 30, 64)
+	b := newSite(t, 31, 64)
+	r, err := NewReplicator(a.client, b.client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randPayload(600, 30)
+	if err := r.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range a.devices {
+		d.Fail()
+	}
+	for _, d := range b.devices {
+		d.Fail()
+	}
+	if _, err := r.Get("obj"); !errors.Is(err, ErrDataLoss) {
+		t.Errorf("err = %v, want ErrDataLoss", err)
+	}
+}
+
+func TestEscapedObjectNames(t *testing.T) {
+	s := newSite(t, 40, 64)
+	name := "dir with space/α/β.dat"
+	data := randPayload(100, 40)
+	if err := s.client.Put(name, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.client.Get(name)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("unicode name round trip: %v", err)
+	}
+}

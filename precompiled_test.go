@@ -1,0 +1,95 @@
+package tornado_test
+
+import (
+	"strings"
+	"testing"
+
+	"tornado"
+)
+
+func TestPrecompiledNames(t *testing.T) {
+	names := tornado.PrecompiledNames()
+	if len(names) < 3 {
+		t.Fatalf("expected at least 3 shipped graphs, got %v", names)
+	}
+	for _, n := range names {
+		if !strings.HasPrefix(n, "tornado96-") {
+			t.Errorf("unexpected name %q", n)
+		}
+	}
+}
+
+func TestLoadPrecompiledGraphsAreCertifiablyGood(t *testing.T) {
+	for _, name := range tornado.PrecompiledNames() {
+		g, err := tornado.LoadPrecompiled(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.Total != 96 || g.Data != 48 {
+			t.Errorf("%s: shape %v", name, g)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		// No structural defects.
+		if defects := tornado.ScanDefects(g, 3); len(defects) != 0 {
+			t.Errorf("%s: defects %v", name, defects)
+		}
+		// Quick re-certification: must tolerate any 3 losses (the shipped
+		// certificates claim at least first failure 4).
+		wc, err := tornado.WorstCase(g, tornado.WorstCaseOptions{MaxK: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wc.Found {
+			t.Errorf("%s: first failure %d contradicts its certificate", name, wc.FirstFailure)
+		}
+	}
+}
+
+func TestPrecompiledCertificates(t *testing.T) {
+	for _, name := range tornado.PrecompiledNames() {
+		cert, err := tornado.PrecompiledCertificate(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, want := range []string{"seed:", "first-failure:", "k=1:"} {
+			if !strings.Contains(cert, want) {
+				t.Errorf("%s certificate missing %q:\n%s", name, want, cert)
+			}
+		}
+	}
+}
+
+func TestLoadPrecompiledUnknown(t *testing.T) {
+	if _, err := tornado.LoadPrecompiled("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if _, err := tornado.PrecompiledCertificate("nope"); err == nil {
+		t.Error("unknown certificate accepted")
+	}
+}
+
+func TestPrecompiledGraphUsableEndToEnd(t *testing.T) {
+	g, err := tornado.LoadPrecompiled("tornado96-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tornado.NewCodec(g, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(strings.Repeat("certified ", 30))
+	blocks, err := c.Encode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks[0], blocks[50], blocks[95] = nil, nil, nil
+	got, err := c.Decode(blocks, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Error("round trip mismatch")
+	}
+}

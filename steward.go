@@ -1,0 +1,32 @@
+package tornado
+
+import (
+	"net/http"
+
+	"tornado/internal/steward"
+)
+
+// Federated stewarding types (paper §5.3 over real HTTP).
+type (
+	// SiteServer serves one archive site's object/block/health API.
+	SiteServer = steward.Server
+	// SiteClient is the typed client for one site.
+	SiteClient = steward.Client
+	// Replicator stewards objects across sites with block exchange.
+	Replicator = steward.Replicator
+)
+
+// NewSiteServer exposes an archive over HTTP (implements http.Handler).
+func NewSiteServer(store *Archive) *SiteServer { return steward.NewServer(store) }
+
+// NewSiteClient connects to a site at baseURL; httpClient may be nil.
+func NewSiteClient(baseURL string, httpClient *http.Client) *SiteClient {
+	return steward.NewClient(baseURL, httpClient)
+}
+
+// NewReplicator federates two or more sites; their striping must agree
+// while their graphs should differ (complementary graphs raise the joint
+// first-failure point, Table 7).
+func NewReplicator(sites ...*SiteClient) (*Replicator, error) {
+	return steward.NewReplicator(sites...)
+}

@@ -1,0 +1,146 @@
+// Package tornado reproduces "Fault Tolerance of Tornado Codes for Archival
+// Storage" (Woitaszek & Tufo, HPDC 2006): construction of Tornado Code
+// (cascaded LDPC) erasure graphs, exhaustive worst-case fault-tolerance
+// analysis, Monte Carlo reconstruction-failure profiles, structural defect
+// detection and feedback-based graph adjustment, RAID/mirroring baselines, a
+// reliability model, a prototype archival object store with guided
+// retrieval and scrubbing, and multi-graph federated storage.
+//
+// The package is a facade over the internal implementation packages; the
+// types it exposes are aliases, so values flow freely between the
+// high-level helpers here and any lower-level code.
+//
+// A typical session mirrors the paper's §3–§4 pipeline:
+//
+//	g, _, err := tornado.Generate(tornado.DefaultParams(), 2006)   // construct + screen
+//	g, reports, err := tornado.Improve(g, 4, tornado.AdjustOptions{}, 7) // raise first failure
+//	wc, err := tornado.WorstCase(g, tornado.WorstCaseOptions{MaxK: 5})   // certify
+//	profile, err := tornado.Profile(g, tornado.ProfileOptions{Trials: 100000})
+//	pfail := tornado.SystemFailure(g.Total, 0.01, profile.FailFraction)  // Table 5 row
+package tornado
+
+import (
+	"math/rand/v2"
+
+	"tornado/internal/adjust"
+	"tornado/internal/core"
+	"tornado/internal/decode"
+	"tornado/internal/defect"
+	"tornado/internal/graph"
+	"tornado/internal/graphml"
+	"tornado/internal/reliability"
+	"tornado/internal/sim"
+)
+
+// Core graph types.
+type (
+	// Graph is a cascaded bipartite LDPC erasure graph.
+	Graph = graph.Graph
+	// Level describes one cascade stage of a Graph.
+	Level = graph.Level
+	// Params configures Tornado graph generation (paper §3.1).
+	Params = core.Params
+	// GenStats reports generation effort (attempts, discards, rewires).
+	GenStats = core.GenStats
+)
+
+// Analysis types.
+type (
+	// WorstCaseOptions tunes the exhaustive first-failure search (§3).
+	WorstCaseOptions = sim.WorstCaseOptions
+	// WorstCaseResult reports the search outcome.
+	WorstCaseResult = sim.WorstCaseResult
+	// KResult is the exhaustive examination of one erasure cardinality.
+	KResult = sim.KResult
+	// ProfileOptions tunes the failure-fraction profile (§3).
+	ProfileOptions = sim.ProfileOptions
+	// FailureProfile holds P(fail | k offline) for every k.
+	FailureProfile = sim.Profile
+	// AdjustOptions tunes the feedback adjustment loop (§3.3).
+	AdjustOptions = adjust.Options
+	// AdjustReport describes one cleared cardinality.
+	AdjustReport = adjust.Report
+	// Defect is a closed left-node set found by the structural scan (§3.2).
+	Defect = defect.Finding
+	// DecodeResult reports a structural decode (lost nodes on failure).
+	DecodeResult = decode.Result
+)
+
+// DefaultParams returns the paper's 96-node construction parameters.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// Generate constructs a defect-screened Tornado Code graph from a seed
+// (paper §3.1–§3.2). The same seed always yields the same graph.
+func Generate(p Params, seed uint64) (*Graph, GenStats, error) {
+	return core.Generate(p, rand.New(rand.NewPCG(seed, 0)))
+}
+
+// GenerateUnscreened constructs a raw random Tornado graph without defect
+// screening — the paper's §3.2 baseline.
+func GenerateUnscreened(p Params, seed uint64) (*Graph, error) {
+	return core.GenerateUnscreened(p, rand.New(rand.NewPCG(seed, 0)))
+}
+
+// ScanDefects finds closed data-node sets up to maxSize (paper §3.2).
+func ScanDefects(g *Graph, maxSize int) []Defect {
+	return defect.ScanDataLevel(g, maxSize)
+}
+
+// WorstCase runs the exhaustive combinatorial search for the graph's
+// worst-case failure scenario (paper §3).
+func WorstCase(g *Graph, opts WorstCaseOptions) (WorstCaseResult, error) {
+	return sim.WorstCase(g, opts)
+}
+
+// Profile measures the fraction of failed reconstructions for each number
+// of offline nodes (paper §3), exhaustively where cheap and by Monte Carlo
+// sampling elsewhere.
+func Profile(g *Graph, opts ProfileOptions) (*FailureProfile, error) {
+	return sim.FailureProfile(g, opts)
+}
+
+// Recoverable reports whether erasing the given nodes still allows full
+// data reconstruction. For bulk queries construct a decoder once via
+// NewDecoder.
+func Recoverable(g *Graph, erased []int) bool {
+	return decode.New(g).Recoverable(erased)
+}
+
+// NewDecoder returns a reusable structural peeling decoder for g.
+func NewDecoder(g *Graph) *decode.Decoder { return decode.New(g) }
+
+// ClearCardinality rewires g (returning an improved copy) until no erasure
+// set of exactly k nodes loses data, following the paper's §3.3 feedback
+// adjustment. The input graph is not modified.
+func ClearCardinality(g *Graph, k int, opts AdjustOptions, seed uint64) (*Graph, AdjustReport, error) {
+	return adjust.ClearK(g, k, opts, rand.New(rand.NewPCG(seed, 1)))
+}
+
+// Improve repeatedly clears the first failing cardinality up to maxK,
+// raising the graph's first-failure point as far as adjustment allows
+// (paper §3.3: screened graphs typically move from first failure 4 to 5).
+func Improve(g *Graph, maxK int, opts AdjustOptions, seed uint64) (*Graph, []AdjustReport, error) {
+	return adjust.Improve(g, maxK, opts, rand.New(rand.NewPCG(seed, 1)))
+}
+
+// SystemFailure composes a conditional failure profile with independent
+// device failures at the given annual failure rate — Equations (2)–(3) and
+// Table 5.
+func SystemFailure(devices int, afr float64, failGivenK func(k int) float64) float64 {
+	return reliability.SystemFailure(devices, afr, failGivenK)
+}
+
+// BinomialPMF is Equation (2): P(exactly k of n devices fail) at rate p.
+func BinomialPMF(n, k int, p float64) float64 {
+	return reliability.BinomialPMF(n, k, p)
+}
+
+// SaveGraphML / LoadGraphML persist graphs in the paper's interchange
+// format (§3: "the testing system stores graphs in the standardized
+// GraphML format").
+
+// SaveGraphML writes g to path as GraphML.
+func SaveGraphML(path string, g *Graph) error { return graphml.WriteFile(path, g) }
+
+// LoadGraphML reads a GraphML graph from path.
+func LoadGraphML(path string) (*Graph, error) { return graphml.ReadFile(path) }
