@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build test race vet check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The steward federation stack and the simulation workers are the
+# concurrency-heavy packages; run them under the race detector.
+race:
+	$(GO) test -race ./internal/steward/ ./internal/sim/ ./internal/obs/
+
+vet:
+	$(GO) vet ./...
+
+check: vet build test race
+
+clean:
+	$(GO) clean ./...

@@ -12,10 +12,13 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand/v2"
+	"os/signal"
+	"syscall"
 
 	"tornado"
 )
@@ -36,16 +39,21 @@ func main() {
 	)
 	flag.Parse()
 
+	// Ctrl-C cancels the graph adjustment and worst-case search — the
+	// slow phases — via the ctx-first facade entry points.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	g, _, err := tornado.Generate(tornado.DefaultParams(), *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if *adjustK > 0 {
-		if g, _, err = tornado.Improve(g, *adjustK, tornado.AdjustOptions{}, *seed+1); err != nil {
+		if g, _, err = tornado.ImproveCtx(ctx, g, *adjustK, tornado.AdjustOptions{}, *seed+1); err != nil {
 			log.Fatal(err)
 		}
 	}
-	wc, err := tornado.WorstCase(g, tornado.WorstCaseOptions{MaxK: *adjustK + 1})
+	wc, err := tornado.WorstCaseCtx(ctx, g, tornado.WorstCaseOptions{MaxK: *adjustK + 1})
 	if err != nil {
 		log.Fatal(err)
 	}

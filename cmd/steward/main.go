@@ -1,6 +1,7 @@
 // Command steward is the client for one or more stewarding sites: store
 // and fetch objects, inspect health, trigger scrubs, and — with multiple
-// sites — federated reads with block exchange (paper §5.3).
+// sites — federated reads with block exchange and full steward passes
+// (paper §5.3).
 //
 // Usage:
 //
@@ -8,15 +9,24 @@
 //	steward -sites http://a:8080,http://b:8081 get name > file
 //	steward -sites http://a:8080 health
 //	steward -sites http://a:8080,http://b:8081 recover name > file
+//	steward -sites http://a:8080,http://b:8081 pass
+//
+// Every request carries a per-request deadline (-timeout) and transient
+// failures are retried with jittered backoff (-retries). Ctrl-C cancels
+// the in-flight operation.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"tornado"
 )
@@ -25,16 +35,24 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("steward: ")
 
-	sitesFlag := flag.String("sites", "http://localhost:8080", "comma-separated site base URLs")
+	var (
+		sitesFlag = flag.String("sites", "http://localhost:8080", "comma-separated site base URLs")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request deadline")
+		retries   = flag.Int("retries", 3, "attempts per request before a site is deemed unavailable")
+	)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
-		log.Fatal("usage: steward -sites <urls> {put|get|rm|ls|stat|health|scrub|recover} [name]")
+		log.Fatal("usage: steward -sites <urls> {put|get|rm|ls|stat|health|scrub|recover|pass} [name]")
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	opts := tornado.SiteClientOptions{RequestTimeout: *timeout, MaxAttempts: *retries}
 	var clients []*tornado.SiteClient
 	for _, u := range strings.Split(*sitesFlag, ",") {
-		clients = append(clients, tornado.NewSiteClient(strings.TrimSpace(u), nil))
+		clients = append(clients, tornado.NewSiteClientWithOptions(strings.TrimSpace(u), opts))
 	}
 	single := clients[0]
 
@@ -57,12 +75,18 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			if err := r.Put(name, data); err != nil {
+			if err := r.PutCtx(ctx, name, data); err != nil {
 				log.Fatal(err)
 			}
-			log.Printf("stored %q (%d bytes) at %d sites", name, len(data), len(clients))
+			live := 0
+			for _, st := range r.Health() {
+				if st.Healthy {
+					live++
+				}
+			}
+			log.Printf("stored %q (%d bytes) at %d/%d sites", name, len(data), live, len(clients))
 		} else {
-			if err := single.Put(name, data); err != nil {
+			if err := single.PutCtx(ctx, name, data); err != nil {
 				log.Fatal(err)
 			}
 			log.Printf("stored %q (%d bytes)", name, len(data))
@@ -74,10 +98,10 @@ func main() {
 		if len(clients) > 1 {
 			var r *tornado.Replicator
 			if r, err = tornado.NewReplicator(clients...); err == nil {
-				data, err = r.Get(name)
+				data, err = r.GetCtx(ctx, name)
 			}
 		} else {
-			data, err = single.Get(name)
+			data, err = single.GetCtx(ctx, name)
 		}
 		if err != nil {
 			log.Fatal(err)
@@ -89,21 +113,40 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		data, err := r.ExchangeRecover(name)
+		data, err := r.ExchangeRecoverCtx(ctx, name)
 		if err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("recovered %q (%d bytes) via block exchange", name, len(data))
 		os.Stdout.Write(data)
+	case "pass":
+		r, err := tornado.NewReplicator(clients...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := r.StewardPass(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, st := range rep.Sites {
+			state := "healthy"
+			if !st.Healthy {
+				state = fmt.Sprintf("DOWN (%s)", st.LastError)
+			}
+			fmt.Printf("site %d %s: %s\n", st.Site, st.URL, state)
+		}
+		fmt.Printf("steward pass: %d objects examined, %d restored, %d blocks repaired, %d unrecoverable, %d sites skipped\n",
+			rep.ObjectsExamined, rep.ObjectsRestored, rep.BlocksRepaired,
+			len(rep.Unrecoverable), len(rep.SkippedSites))
 	case "rm":
 		name := needName()
 		for _, c := range clients {
-			if err := c.Delete(name); err != nil {
+			if err := c.DeleteCtx(ctx, name); err != nil {
 				log.Printf("delete: %v", err)
 			}
 		}
 	case "ls":
-		objs, err := single.List()
+		objs, err := single.ListCtx(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -111,7 +154,7 @@ func main() {
 			fmt.Printf("%10d  %2d stripes  %s\n", o.Size, o.Stripes, o.Name)
 		}
 	case "stat":
-		obj, err := single.Stat(needName())
+		obj, err := single.StatCtx(ctx, needName())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -121,9 +164,9 @@ func main() {
 			var rep tornado.ScrubReport
 			var err error
 			if args[0] == "health" {
-				rep, err = c.Health()
+				rep, err = c.HealthCtx(ctx)
 			} else {
-				rep, err = c.Scrub()
+				rep, err = c.ScrubCtx(ctx)
 			}
 			if err != nil {
 				log.Fatal(err)

@@ -1,7 +1,9 @@
 // Command stewardd serves one archival stewarding site over HTTP: a
 // Tornado-coded object store (paper §2.2/§6) with object, block, health,
 // and scrub endpoints — the building block of the federated data
-// stewarding system of §5.3.
+// stewarding system of §5.3. Request metrics are served at /metrics and a
+// liveness probe at /healthz; SIGINT/SIGTERM drains in-flight requests
+// before exiting.
 //
 // Usage:
 //
@@ -13,9 +15,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"tornado"
 )
@@ -31,8 +38,12 @@ func main() {
 		seed        = flag.Uint64("seed", 2006, "generate the site graph from this seed")
 		adjustK     = flag.Int("adjust", 3, "adjust the generated graph to tolerate this cardinality")
 		block       = flag.Int("block", 4096, "stripe block size in bytes")
+		drain       = flag.Duration("drain", 10*time.Second, "shutdown grace period for in-flight requests")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
 	var g *tornado.Graph
 	var err error
@@ -44,7 +55,7 @@ func main() {
 	default:
 		g, _, err = tornado.Generate(tornado.DefaultParams(), *seed)
 		if err == nil && *adjustK > 0 {
-			g, _, err = tornado.Improve(g, *adjustK, tornado.AdjustOptions{}, *seed+1)
+			g, _, err = tornado.ImproveCtx(ctx, g, *adjustK, tornado.AdjustOptions{}, *seed+1)
 		}
 	}
 	if err != nil {
@@ -58,6 +69,26 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("site graph: %v", g)
-	log.Printf("serving on %s", *listen)
-	log.Fatal(http.ListenAndServe(*listen, tornado.NewSiteServer(store)))
+	log.Printf("serving on %s (metrics at /metrics, liveness at /healthz)", *listen)
+
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           tornado.NewSiteServer(store),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-done:
+		log.Fatal(err)
+	case <-ctx.Done():
+		log.Printf("shutting down (draining up to %v)", *drain)
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Fatal(err)
+		}
+	}
 }

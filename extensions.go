@@ -1,6 +1,7 @@
 package tornado
 
 import (
+	"context"
 	"math/rand/v2"
 
 	"tornado/internal/lec"
@@ -55,6 +56,12 @@ func MeasureOverhead(g *Graph, opts OverheadOptions) (OverheadResult, error) {
 	return sim.Overhead(g, opts)
 }
 
+// MeasureOverheadCtx is MeasureOverhead with cancellation, checked between
+// sampled retrieval orders.
+func MeasureOverheadCtx(ctx context.Context, g *Graph, opts OverheadOptions) (OverheadResult, error) {
+	return sim.OverheadCtx(ctx, g, opts)
+}
+
 // MTTDL computes the mean time to data loss under a birth–death repair
 // model (the with-repair extension of Table 5). lambda and mu are failure
 // and per-repairman rebuild rates in the same time unit; failGivenK is the
@@ -74,6 +81,12 @@ func AnnualLossProbability(mttdlYears float64) float64 {
 // crew, event by event, until the real decoder reports data loss.
 func SimulateLifetime(g *Graph, opts LifetimeOptions) (LifetimeResult, error) {
 	return sim.SimulateLifetime(g, opts)
+}
+
+// SimulateLifetimeCtx is SimulateLifetime with cancellation, checked
+// between simulated lifetimes.
+func SimulateLifetimeCtx(ctx context.Context, g *Graph, opts LifetimeOptions) (LifetimeResult, error) {
+	return sim.SimulateLifetimeCtx(ctx, g, opts)
 }
 
 // AnnualLossMonteCarlo estimates the one-year loss probability by direct

@@ -7,6 +7,7 @@
 package adjust
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
@@ -57,11 +58,18 @@ type Report struct {
 // is false when the loop runs out of rounds or candidates — the paper notes
 // success "is ultimately related to the degree of the graph".
 func ClearK(g *graph.Graph, k int, opts Options, rng *rand.Rand) (*graph.Graph, Report, error) {
+	return ClearKCtx(context.Background(), g, k, opts, rng)
+}
+
+// ClearKCtx is ClearK with cancellation: the exhaustive re-tests honor ctx
+// and the rewire loop checks it between rounds, so a canceled adjustment
+// returns within one test round.
+func ClearKCtx(ctx context.Context, g *graph.Graph, k int, opts Options, rng *rand.Rand) (*graph.Graph, Report, error) {
 	opts.setDefaults()
 	rep := Report{K: k}
 
 	work := g.Clone()
-	kr, err := sim.ExhaustiveK(work, k, opts.MaxFailures, opts.Workers)
+	kr, err := sim.ExhaustiveKCtx(ctx, work, k, opts.MaxFailures, opts.Workers)
 	if err != nil {
 		return nil, rep, err
 	}
@@ -82,7 +90,7 @@ func ClearK(g *graph.Graph, k int, opts Options, rng *rand.Rand) (*graph.Graph, 
 		work.RewireEdge(rw.Left, rw.From, rw.To)
 		lineage = append(lineage, rw)
 
-		kr, err = sim.ExhaustiveK(work, k, opts.MaxFailures, opts.Workers)
+		kr, err = sim.ExhaustiveKCtx(ctx, work, k, opts.MaxFailures, opts.Workers)
 		if err != nil {
 			return nil, rep, err
 		}
@@ -105,17 +113,23 @@ func ClearK(g *graph.Graph, k int, opts Options, rng *rand.Rand) (*graph.Graph, 
 // either maxK is tolerated or adjustment stalls. It returns the improved
 // graph and the reports of each cleared cardinality.
 func Improve(g *graph.Graph, maxK int, opts Options, rng *rand.Rand) (*graph.Graph, []Report, error) {
+	return ImproveCtx(context.Background(), g, maxK, opts, rng)
+}
+
+// ImproveCtx is Improve with cancellation threaded through every worst-case
+// search and adjustment round.
+func ImproveCtx(ctx context.Context, g *graph.Graph, maxK int, opts Options, rng *rand.Rand) (*graph.Graph, []Report, error) {
 	var reports []Report
 	cur := g
 	for {
-		wc, err := sim.WorstCase(cur, sim.WorstCaseOptions{MaxK: maxK, MaxFailures: opts.MaxFailures, Workers: opts.Workers})
+		wc, err := sim.WorstCaseCtx(ctx, cur, sim.WorstCaseOptions{MaxK: maxK, MaxFailures: opts.MaxFailures, Workers: opts.Workers})
 		if err != nil {
 			return nil, reports, err
 		}
 		if !wc.Found {
 			return cur, reports, nil // tolerates everything up to maxK
 		}
-		next, rep, err := ClearK(cur, wc.FirstFailure, opts, rng)
+		next, rep, err := ClearKCtx(ctx, cur, wc.FirstFailure, opts, rng)
 		if err != nil {
 			return nil, reports, err
 		}

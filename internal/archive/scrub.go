@@ -1,5 +1,7 @@
 package archive
 
+import "context"
+
 // StripeHealth is the introspection record for one stripe (§6: "stripe
 // reliability assurance and user introspection mechanism").
 type StripeHealth struct {
@@ -30,9 +32,19 @@ type ScrubReport struct {
 // rewrites them to their home devices (replaced drives are repopulated this
 // way). Unrecoverable stripes are reported, never touched.
 func (s *Store) Scrub(repair bool) (ScrubReport, error) {
+	return s.ScrubCtx(context.Background(), repair)
+}
+
+// ScrubCtx is Scrub with cancellation: the pass checks ctx at every stripe
+// boundary and returns ctx.Err() with the partial report, so a steward can
+// bound scrub latency on a large store.
+func (s *Store) ScrubCtx(ctx context.Context, repair bool) (ScrubReport, error) {
 	var rep ScrubReport
 	for _, obj := range s.List() {
 		for st := 0; st < obj.Stripes; st++ {
+			if err := ctx.Err(); err != nil {
+				return rep, err
+			}
 			h, err := s.scrubStripe(obj.Name, st, repair)
 			if err != nil {
 				return rep, err

@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"slices"
@@ -44,6 +45,13 @@ type Detection struct {
 // the partner site B that pins every jointly-lost block, then minimizes it
 // greedily. The result is an upper bound witness, exactly as in the paper.
 func (s *System) DetectFirstFailure(critical [][]CriticalSet, opts SearchOptions) (Detection, error) {
+	return s.DetectFirstFailureCtx(context.Background(), critical, opts)
+}
+
+// DetectFirstFailureCtx is DetectFirstFailure with cancellation, checked
+// between critical-set searches so a canceled federation search returns
+// within one (critical set, partner) attempt.
+func (s *System) DetectFirstFailureCtx(ctx context.Context, critical [][]CriticalSet, opts SearchOptions) (Detection, error) {
 	if len(critical) != len(s.sites) {
 		return Detection{}, fmt.Errorf("federation: critical sets for %d sites, system has %d", len(critical), len(s.sites))
 	}
@@ -57,6 +65,9 @@ func (s *System) DetectFirstFailure(critical [][]CriticalSet, opts SearchOptions
 				continue
 			}
 			for _, cs := range critical[a] {
+				if err := ctx.Err(); err != nil {
+					return Detection{}, err
+				}
 				det, ok := s.blockAtPartner(a, b, cs, opts, rng)
 				if !ok {
 					continue

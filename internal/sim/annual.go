@@ -3,7 +3,6 @@ package sim
 import (
 	"fmt"
 	"math/rand/v2"
-	"runtime"
 	"sync"
 
 	"tornado/internal/decode"
@@ -21,12 +20,8 @@ func AnnualLossMonteCarlo(g *graph.Graph, afr float64, trials int64, seed uint64
 	if afr < 0 || afr > 1 {
 		return stats.Proportion{}, fmt.Errorf("sim: afr %v out of [0,1]", afr)
 	}
-	if trials <= 0 {
-		trials = 10000
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	trials = int64Or(trials, 10000)
+	workers = defaultWorkers(workers)
 	per := trials / int64(workers)
 	rem := trials % int64(workers)
 

@@ -1,10 +1,10 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
-	"runtime"
 	"sync"
 
 	"tornado/internal/decode"
@@ -32,16 +32,11 @@ type LifetimeOptions struct {
 	Workers int
 }
 
-func (o *LifetimeOptions) setDefaults() {
-	if o.Runs <= 0 {
-		o.Runs = 200
-	}
-	if o.MaxYears <= 0 {
-		o.MaxYears = 1e6
-	}
-	if o.Workers <= 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
-	}
+func (o LifetimeOptions) normalize() LifetimeOptions {
+	o.Runs = intOr(o.Runs, DefaultLifetimeRuns)
+	o.MaxYears = floatOr(o.MaxYears, DefaultLifetimeMaxYears)
+	o.Workers = defaultWorkers(o.Workers)
+	return o
 }
 
 // LifetimeResult summarizes simulated times to data loss.
@@ -59,7 +54,13 @@ type LifetimeResult struct {
 // exactly which devices are down and asks the real decoder whether data
 // survived, so it validates both the chain and the profile at once.
 func SimulateLifetime(g *graph.Graph, opts LifetimeOptions) (LifetimeResult, error) {
-	opts.setDefaults()
+	return SimulateLifetimeCtx(context.Background(), g, opts)
+}
+
+// SimulateLifetimeCtx is SimulateLifetime with cancellation, checked
+// between runs in each worker.
+func SimulateLifetimeCtx(ctx context.Context, g *graph.Graph, opts LifetimeOptions) (LifetimeResult, error) {
+	opts = opts.normalize()
 	if opts.Lambda <= 0 {
 		return LifetimeResult{}, fmt.Errorf("sim: lambda must be positive")
 	}
@@ -89,6 +90,9 @@ func SimulateLifetime(g *graph.Graph, opts LifetimeOptions) (LifetimeResult, err
 			localTotal := 0.0
 			localTrunc := 0
 			for i := 0; i < n; i++ {
+				if ctx.Err() != nil {
+					return
+				}
 				t, truncated := oneLifetime(g, d, opts, rng)
 				localTotal += t
 				if truncated {
@@ -102,6 +106,9 @@ func SimulateLifetime(g *graph.Graph, opts LifetimeOptions) (LifetimeResult, err
 		}(w, n)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	res.MeanYears = total / float64(opts.Runs)
 	return res, nil
 }

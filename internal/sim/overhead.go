@@ -1,9 +1,9 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
-	"runtime"
 	"sync"
 
 	"tornado/internal/decode"
@@ -16,7 +16,8 @@ import (
 // Plank's methodology: "a testing system would start with a certain number
 // of online nodes and retrieve nodes until the graph can be reconstructed".
 type OverheadOptions struct {
-	// Trials is the number of random retrieval orders sampled.
+	// Trials is the number of random retrieval orders sampled. Default
+	// DefaultOverheadTrials.
 	Trials int64
 	// Workers bounds goroutines; default GOMAXPROCS.
 	Workers int
@@ -24,13 +25,10 @@ type OverheadOptions struct {
 	Seed uint64
 }
 
-func (o *OverheadOptions) setDefaults() {
-	if o.Trials <= 0 {
-		o.Trials = 10000
-	}
-	if o.Workers <= 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
-	}
+func (o OverheadOptions) normalize() OverheadOptions {
+	o.Trials = int64Or(o.Trials, DefaultOverheadTrials)
+	o.Workers = defaultWorkers(o.Workers)
+	return o
 }
 
 // OverheadResult is the distribution of the minimum number of blocks that
@@ -63,7 +61,13 @@ func (r OverheadResult) Quantile(q float64) int { return r.Counts.Quantile(q) }
 // Monotonicity makes the per-trial binary search sound: supersets of a
 // decodable block set are decodable.
 func Overhead(g *graph.Graph, opts OverheadOptions) (OverheadResult, error) {
-	opts.setDefaults()
+	return OverheadCtx(context.Background(), g, opts)
+}
+
+// OverheadCtx is Overhead with cancellation, checked between trials in
+// each worker.
+func OverheadCtx(ctx context.Context, g *graph.Graph, opts OverheadOptions) (OverheadResult, error) {
+	opts = opts.normalize()
 	res := OverheadResult{
 		GraphName: g.Name,
 		Data:      g.Data,
@@ -95,6 +99,9 @@ func Overhead(g *graph.Graph, opts OverheadOptions) (OverheadResult, error) {
 				order[i] = i
 			}
 			for t := int64(0); t < trials; t++ {
+				if t%1024 == 0 && ctx.Err() != nil {
+					return
+				}
 				rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 				n, ok := minimumPrefix(d, order)
 				if !ok {
@@ -116,6 +123,9 @@ func Overhead(g *graph.Graph, opts OverheadOptions) (OverheadResult, error) {
 		}(w, n)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	if firstErr != nil {
 		return res, firstErr
 	}

@@ -1,9 +1,9 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
-	"runtime"
 	"sync"
 
 	"tornado/internal/combin"
@@ -17,10 +17,11 @@ import (
 type ProfileOptions struct {
 	// Trials is the Monte Carlo sample count per offline-node count. The
 	// paper used 10–34 million per point (962,144,153 cases, 34 CPU-days);
-	// the default of 20,000 preserves the curve shape on a laptop.
+	// the default of DefaultProfileTrials preserves the curve shape on a
+	// laptop.
 	Trials int64
 	// ExhaustiveLimit switches a point to exact enumeration when
-	// C(total, k) is at most this bound. Default 100,000.
+	// C(total, k) is at most this bound. Default DefaultExhaustiveLimit.
 	ExhaustiveLimit int64
 	// MinK and MaxK bound the examined offline counts; MaxK=0 means the
 	// whole range up to Total.
@@ -31,22 +32,15 @@ type ProfileOptions struct {
 	Seed uint64
 }
 
-func (o *ProfileOptions) setDefaults(total int) {
-	if o.Trials <= 0 {
-		o.Trials = 20000
-	}
-	if o.ExhaustiveLimit <= 0 {
-		o.ExhaustiveLimit = 100000
-	}
-	if o.MinK <= 0 {
-		o.MinK = 1
-	}
+func (o ProfileOptions) normalize(total int) ProfileOptions {
+	o.Trials = int64Or(o.Trials, DefaultProfileTrials)
+	o.ExhaustiveLimit = int64Or(o.ExhaustiveLimit, DefaultExhaustiveLimit)
+	o.MinK = intOr(o.MinK, 1)
 	if o.MaxK <= 0 || o.MaxK > total {
 		o.MaxK = total
 	}
-	if o.Workers <= 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
-	}
+	o.Workers = defaultWorkers(o.Workers)
+	return o
 }
 
 // Profile holds the measured failure fraction for each number of offline
@@ -62,7 +56,13 @@ type Profile struct {
 
 // FailureProfile measures g's reconstruction-failure profile.
 func FailureProfile(g *graph.Graph, opts ProfileOptions) (*Profile, error) {
-	opts.setDefaults(g.Total)
+	return FailureProfileCtx(context.Background(), g, opts)
+}
+
+// FailureProfileCtx is FailureProfile with cancellation, checked at
+// combination-chunk boundaries inside each sampling worker.
+func FailureProfileCtx(ctx context.Context, g *graph.Graph, opts ProfileOptions) (*Profile, error) {
+	opts = opts.normalize(g.Total)
 	p := &Profile{
 		GraphName: g.Name,
 		Total:     g.Total,
@@ -76,7 +76,7 @@ func FailureProfile(g *graph.Graph, opts ProfileOptions) (*Profile, error) {
 
 	for k := opts.MinK; k <= opts.MaxK; k++ {
 		if c, ok := combin.BinomialInt64(g.Total, k); ok && c <= opts.ExhaustiveLimit {
-			kr, err := ExhaustiveK(g, k, 1, opts.Workers)
+			kr, err := ExhaustiveKCtx(ctx, g, k, 1, opts.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -84,7 +84,7 @@ func FailureProfile(g *graph.Graph, opts ProfileOptions) (*Profile, error) {
 			p.Exact[k] = true
 			continue
 		}
-		prop, err := sampleK(g, k, opts)
+		prop, err := sampleK(ctx, g, k, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -95,7 +95,7 @@ func FailureProfile(g *graph.Graph, opts ProfileOptions) (*Profile, error) {
 
 // sampleK estimates the failure fraction for exactly k offline nodes by
 // uniform random sampling, fanned out over workers.
-func sampleK(g *graph.Graph, k int, opts ProfileOptions) (stats.Proportion, error) {
+func sampleK(ctx context.Context, g *graph.Graph, k int, opts ProfileOptions) (stats.Proportion, error) {
 	if k < 1 || k > g.Total {
 		return stats.Proportion{}, fmt.Errorf("sim: cardinality %d out of range for %d nodes", k, g.Total)
 	}
@@ -122,6 +122,9 @@ func sampleK(g *graph.Graph, k int, opts ProfileOptions) (stats.Proportion, erro
 			scratch := make(map[int]bool, k)
 			var hits int64
 			for i := int64(0); i < trials; i++ {
+				if i%cancelCheckInterval == 0 && ctx.Err() != nil {
+					return
+				}
 				combin.RandomSubset(idx, g.Total, rng, scratch)
 				if idx[0] < g.Data && !d.Recoverable(idx) {
 					hits++
@@ -133,6 +136,9 @@ func sampleK(g *graph.Graph, k int, opts ProfileOptions) (stats.Proportion, erro
 		}(w, n)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return stats.Proportion{}, err
+	}
 	return agg, nil
 }
 

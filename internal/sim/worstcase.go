@@ -5,11 +5,16 @@
 // each number of offline devices. Both fan out over goroutines; each worker
 // owns a private decoder and enumerates a contiguous rank range of the
 // combination space.
+//
+// Every long-running entry point has a context-first variant (WorstCaseCtx,
+// FailureProfileCtx, OverheadCtx, SimulateLifetimeCtx) whose workers check
+// cancellation at combination-chunk boundaries; the short names delegate
+// with context.Background().
 package sim
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"slices"
 	"sync"
 
@@ -21,10 +26,10 @@ import (
 // WorstCaseOptions tunes the exhaustive search.
 type WorstCaseOptions struct {
 	// MaxK is the largest erasure cardinality examined (the paper searched
-	// (96 choose 1) through (96 choose 6)). Default 5.
+	// (96 choose 1) through (96 choose 6)). Default DefaultMaxK.
 	MaxK int
 	// MaxFailures caps how many failing sets are recorded verbatim (the
-	// total count is always exact). Default 256.
+	// total count is always exact). Default DefaultMaxFailures.
 	MaxFailures int
 	// Workers is the number of goroutines; default GOMAXPROCS.
 	Workers int
@@ -34,16 +39,11 @@ type WorstCaseOptions struct {
 	KeepGoing bool
 }
 
-func (o *WorstCaseOptions) setDefaults() {
-	if o.MaxK <= 0 {
-		o.MaxK = 5
-	}
-	if o.MaxFailures <= 0 {
-		o.MaxFailures = 256
-	}
-	if o.Workers <= 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
-	}
+func (o WorstCaseOptions) normalize() WorstCaseOptions {
+	o.MaxK = intOr(o.MaxK, DefaultMaxK)
+	o.MaxFailures = intOr(o.MaxFailures, DefaultMaxFailures)
+	o.Workers = defaultWorkers(o.Workers)
+	return o
 }
 
 // KResult reports the exhaustive examination of one erasure cardinality.
@@ -69,10 +69,18 @@ type WorstCaseResult struct {
 // cardinality for the graph's worst-case failure scenario (paper §3:
 // "(96 choose 1 lost block) through (96 choose 6)").
 func WorstCase(g *graph.Graph, opts WorstCaseOptions) (WorstCaseResult, error) {
-	opts.setDefaults()
+	return WorstCaseCtx(context.Background(), g, opts)
+}
+
+// WorstCaseCtx is WorstCase with cancellation: workers observe ctx at
+// combination-chunk boundaries, so cancellation returns (with the
+// cardinalities completed so far and ctx.Err()) within one chunk of
+// decoding work.
+func WorstCaseCtx(ctx context.Context, g *graph.Graph, opts WorstCaseOptions) (WorstCaseResult, error) {
+	opts = opts.normalize()
 	var res WorstCaseResult
 	for k := 1; k <= opts.MaxK; k++ {
-		kr, err := ExhaustiveK(g, k, opts.MaxFailures, opts.Workers)
+		kr, err := ExhaustiveKCtx(ctx, g, k, opts.MaxFailures, opts.Workers)
 		if err != nil {
 			return res, err
 		}
@@ -93,6 +101,12 @@ func WorstCase(g *graph.Graph, opts WorstCaseOptions) (WorstCaseResult, error) {
 // graph's nodes, returning the exact failure count and up to maxFailures
 // recorded failing sets. The rank space is split across workers.
 func ExhaustiveK(g *graph.Graph, k, maxFailures, workers int) (KResult, error) {
+	return ExhaustiveKCtx(context.Background(), g, k, maxFailures, workers)
+}
+
+// ExhaustiveKCtx is ExhaustiveK with cancellation (checked every
+// cancelCheckInterval combinations per worker).
+func ExhaustiveKCtx(ctx context.Context, g *graph.Graph, k, maxFailures, workers int) (KResult, error) {
 	if k < 1 || k > g.Total {
 		return KResult{}, fmt.Errorf("sim: cardinality %d out of range for %d nodes", k, g.Total)
 	}
@@ -100,9 +114,7 @@ func ExhaustiveK(g *graph.Graph, k, maxFailures, workers int) (KResult, error) {
 	if !ok {
 		return KResult{}, fmt.Errorf("sim: C(%d,%d) overflows the rank space", g.Total, k)
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = defaultWorkers(workers)
 	ranges := combin.SplitRanges(total, workers)
 
 	var (
@@ -121,6 +133,9 @@ func ExhaustiveK(g *graph.Graph, k, maxFailures, workers int) (KResult, error) {
 			var localCount int64
 			var localFails [][]int
 			for r := lo; r < hi; r++ {
+				if (r-lo)%cancelCheckInterval == 0 && ctx.Err() != nil {
+					return
+				}
 				// A combination touching no data node cannot lose data;
 				// idx is sorted, so idx[0] >= Data means all-check.
 				if idx[0] < g.Data && !d.Recoverable(idx) {
@@ -144,6 +159,9 @@ func ExhaustiveK(g *graph.Graph, k, maxFailures, workers int) (KResult, error) {
 		}(rg[0], rg[1])
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return KResult{}, err
+	}
 
 	slices.SortFunc(failures, slices.Compare)
 	return KResult{K: k, Tested: total, FailureCount: count, Failures: failures}, nil

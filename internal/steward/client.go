@@ -2,16 +2,22 @@ package steward
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
+	"strconv"
+	"strings"
+	"time"
 
 	"tornado/internal/archive"
 	"tornado/internal/graph"
 	"tornado/internal/graphml"
+	"tornado/internal/obs"
 )
 
 // Errors surfaced by the client, mapped from the site API's status codes.
@@ -22,75 +28,266 @@ var (
 	ErrExists = archive.ErrExists
 	// ErrDataLoss mirrors archive.ErrDataLoss across the wire.
 	ErrDataLoss = archive.ErrDataLoss
+	// ErrUnavailable wraps transport failures and 5xx responses that
+	// persist after the retry budget: the site is down or unreachable, not
+	// merely missing an object. The replicator uses it to mark a site
+	// unhealthy instead of failing a whole steward pass.
+	ErrUnavailable = errors.New("steward: site unavailable")
 )
 
-// Client is a typed client for one stewarding site.
+// Client option defaults.
+const (
+	// DefaultRequestTimeout is the per-attempt deadline.
+	DefaultRequestTimeout = 10 * time.Second
+	// DefaultMaxAttempts is the total number of tries per request
+	// (the first attempt plus retries).
+	DefaultMaxAttempts = 3
+	// DefaultBaseBackoff is the delay before the first retry; it doubles
+	// per attempt up to DefaultMaxBackoff, with ±50% jitter.
+	DefaultBaseBackoff = 50 * time.Millisecond
+	// DefaultMaxBackoff caps the exponential backoff.
+	DefaultMaxBackoff = 2 * time.Second
+)
+
+// ClientOptions tunes a site client. The zero value gets the Default*
+// constants (normalize(), the package option idiom).
+type ClientOptions struct {
+	// HTTPClient performs the requests; nil means http.DefaultClient.
+	HTTPClient *http.Client
+	// RequestTimeout bounds each attempt (not the whole retried call).
+	RequestTimeout time.Duration
+	// MaxAttempts is the total tries per request: 1 disables retries.
+	MaxAttempts int
+	// BaseBackoff is the pre-jitter delay before the first retry;
+	// subsequent retries double it up to MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the backoff growth.
+	MaxBackoff time.Duration
+	// Metrics receives client.requests / client.retries / client.failures
+	// counters and the client.latency histogram; nil creates a private
+	// registry (reachable via Client.Metrics).
+	Metrics *obs.Registry
+}
+
+func (o ClientOptions) normalize() ClientOptions {
+	if o.HTTPClient == nil {
+		o.HTTPClient = http.DefaultClient
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = DefaultRequestTimeout
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = DefaultMaxAttempts
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = DefaultBaseBackoff
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = DefaultMaxBackoff
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
+	}
+	return o
+}
+
+// Client is a typed client for one stewarding site. Every method has a
+// context-first variant (GetCtx, PutCtx, ...); the short names delegate
+// with context.Background(). Each request carries a per-attempt deadline
+// and is retried with bounded exponential backoff and jitter on transport
+// errors and 5xx responses — never on 4xx, which are real answers.
 type Client struct {
-	base string
-	http *http.Client
+	base    *url.URL
+	baseErr error // deferred NewClient parse failure, reported per call
+	opts    ClientOptions
 }
 
 // NewClient returns a client for the site at baseURL. httpClient may be
 // nil for http.DefaultClient.
 func NewClient(baseURL string, httpClient *http.Client) *Client {
-	if httpClient == nil {
-		httpClient = http.DefaultClient
-	}
-	return &Client{base: baseURL, http: httpClient}
+	return NewClientWithOptions(baseURL, ClientOptions{HTTPClient: httpClient})
 }
 
-func (c *Client) do(method, path string, body []byte) ([]byte, error) {
+// NewClientWithOptions returns a client with explicit timeout/retry/metrics
+// configuration.
+func NewClientWithOptions(baseURL string, opts ClientOptions) *Client {
+	c := &Client{opts: opts.normalize()}
+	c.base, c.baseErr = url.Parse(strings.TrimSuffix(baseURL, "/"))
+	return c
+}
+
+// BaseURL returns the site's base URL string.
+func (c *Client) BaseURL() string {
+	if c.base == nil {
+		return ""
+	}
+	return c.base.String()
+}
+
+// Metrics returns the client's metric registry.
+func (c *Client) Metrics() *obs.Registry { return c.opts.Metrics }
+
+// endpoint builds the request URL from path segments and query values —
+// url.JoinPath plus url.Values, never string concatenation, so hostile
+// object names ("50%", "a?b", names with spaces) round-trip.
+func (c *Client) endpoint(query url.Values, segments ...string) string {
+	u := c.base.JoinPath(segments...)
+	if len(query) > 0 {
+		u.RawQuery = query.Encode()
+	}
+	return u.String()
+}
+
+// backoff returns the pre-attempt delay: base·2^(attempt−1) capped at max,
+// jittered to 50–150% so synchronized clients spread out.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.opts.BaseBackoff << (attempt - 1)
+	if d > c.opts.MaxBackoff || d <= 0 {
+		d = c.opts.MaxBackoff
+	}
+	return time.Duration(float64(d) * (0.5 + rand.Float64()))
+}
+
+func (c *Client) do(ctx context.Context, method string, query url.Values, body []byte, segments ...string) ([]byte, error) {
+	if c.baseErr != nil {
+		return nil, fmt.Errorf("steward: bad base URL: %w", c.baseErr)
+	}
+	m := c.opts.Metrics
+	m.Counter("client.requests").Inc()
+	start := time.Now()
+	defer func() { m.Histogram("client.latency").Observe(time.Since(start)) }()
+
+	target := c.endpoint(query, segments...)
+	var lastErr error
+	for attempt := 1; attempt <= c.opts.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			m.Counter("client.retries").Inc()
+			select {
+			case <-time.After(c.backoff(attempt - 1)):
+			case <-ctx.Done():
+				m.Counter("client.failures").Inc()
+				return nil, ctx.Err()
+			}
+		}
+		data, status, err := c.attempt(ctx, method, target, body)
+		if err == nil && status < 300 {
+			return data, nil
+		}
+		if err == nil && status < 500 {
+			// A definitive site answer: map it, never retry.
+			m.Counter("client.failures").Inc()
+			return nil, mapStatus(method, target, status, data)
+		}
+		// Transport error or 5xx.
+		if err != nil {
+			lastErr = err
+		} else {
+			lastErr = fmt.Errorf("%s %s: HTTP %d: %s", method, target, status, bytes.TrimSpace(data))
+		}
+		if ctx.Err() != nil {
+			m.Counter("client.failures").Inc()
+			return nil, ctx.Err()
+		}
+	}
+	m.Counter("client.failures").Inc()
+	return nil, fmt.Errorf("%w: %v (after %d attempts)", ErrUnavailable, lastErr, c.opts.MaxAttempts)
+}
+
+// attempt performs one HTTP round trip under the per-attempt deadline.
+func (c *Client) attempt(ctx context.Context, method, target string, body []byte) (data []byte, status int, err error) {
+	actx, cancel := context.WithTimeout(ctx, c.opts.RequestTimeout)
+	defer cancel()
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequest(method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(actx, method, target, rd)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	resp, err := c.http.Do(req)
+	resp, err := c.opts.HTTPClient.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
+	data, err = io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	switch {
-	case resp.StatusCode < 300:
-		return data, nil
-	case resp.StatusCode == http.StatusNotFound:
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, bytes.TrimSpace(data))
-	case resp.StatusCode == http.StatusConflict:
-		return nil, fmt.Errorf("%w: %s", ErrExists, bytes.TrimSpace(data))
-	case resp.StatusCode == http.StatusGone:
-		return nil, fmt.Errorf("%w: %s", ErrDataLoss, bytes.TrimSpace(data))
+	return data, resp.StatusCode, nil
+}
+
+// mapStatus translates the site API's definitive (non-5xx) error statuses
+// into the shared archive error values.
+func mapStatus(method, target string, status int, body []byte) error {
+	msg := bytes.TrimSpace(body)
+	switch status {
+	case http.StatusNotFound:
+		return fmt.Errorf("%w: %s", ErrNotFound, msg)
+	case http.StatusConflict:
+		return fmt.Errorf("%w: %s", ErrExists, msg)
+	case http.StatusGone:
+		return fmt.Errorf("%w: %s", ErrDataLoss, msg)
 	default:
-		return nil, fmt.Errorf("steward: %s %s: %s: %s", method, path, resp.Status, bytes.TrimSpace(data))
+		return fmt.Errorf("steward: %s %s: HTTP %d: %s", method, target, status, msg)
 	}
+}
+
+// nameSegments splits a path-like object name into its segments and
+// percent-escapes each one, so hostile characters ("%", "?", "#", spaces)
+// round-trip and the server's wildcard route reassembles the name.
+// url.JoinPath treats its elements as already-escaped path, so escaping
+// here is load-bearing: a raw "%" would otherwise invalidate the URL.
+func nameSegments(prefix, name string) []string {
+	segs := []string{prefix}
+	for _, s := range strings.Split(name, "/") {
+		segs = append(segs, url.PathEscape(s))
+	}
+	return segs
+}
+
+func blockQuery(stripe, node int) url.Values {
+	return url.Values{
+		"stripe": []string{strconv.Itoa(stripe)},
+		"node":   []string{strconv.Itoa(node)},
+	}
+}
+
+// PutCtx uploads an object.
+func (c *Client) PutCtx(ctx context.Context, name string, data []byte) error {
+	_, err := c.do(ctx, http.MethodPut, nil, data, nameSegments("objects", name)...)
+	return err
 }
 
 // Put uploads an object.
 func (c *Client) Put(name string, data []byte) error {
-	_, err := c.do(http.MethodPut, "/objects/"+escape(name), data)
-	return err
+	return c.PutCtx(context.Background(), name, data)
+}
+
+// GetCtx downloads an object, reconstructing at the site if needed.
+func (c *Client) GetCtx(ctx context.Context, name string) ([]byte, error) {
+	return c.do(ctx, http.MethodGet, nil, nil, nameSegments("objects", name)...)
 }
 
 // Get downloads an object, reconstructing at the site if needed.
 func (c *Client) Get(name string) ([]byte, error) {
-	return c.do(http.MethodGet, "/objects/"+escape(name), nil)
+	return c.GetCtx(context.Background(), name)
+}
+
+// DeleteCtx removes an object.
+func (c *Client) DeleteCtx(ctx context.Context, name string) error {
+	_, err := c.do(ctx, http.MethodDelete, nil, nil, nameSegments("objects", name)...)
+	return err
 }
 
 // Delete removes an object.
 func (c *Client) Delete(name string) error {
-	_, err := c.do(http.MethodDelete, "/objects/"+escape(name), nil)
-	return err
+	return c.DeleteCtx(context.Background(), name)
 }
 
-// Stat fetches an object's metadata.
-func (c *Client) Stat(name string) (archive.Object, error) {
-	data, err := c.do(http.MethodGet, "/stat/"+escape(name), nil)
+// StatCtx fetches an object's metadata.
+func (c *Client) StatCtx(ctx context.Context, name string) (archive.Object, error) {
+	data, err := c.do(ctx, http.MethodGet, nil, nil, nameSegments("stat", name)...)
 	if err != nil {
 		return archive.Object{}, err
 	}
@@ -101,9 +298,14 @@ func (c *Client) Stat(name string) (archive.Object, error) {
 	return obj, nil
 }
 
-// List fetches the site's object listing.
-func (c *Client) List() ([]archive.Object, error) {
-	data, err := c.do(http.MethodGet, "/list", nil)
+// Stat fetches an object's metadata.
+func (c *Client) Stat(name string) (archive.Object, error) {
+	return c.StatCtx(context.Background(), name)
+}
+
+// ListCtx fetches the site's object listing.
+func (c *Client) ListCtx(ctx context.Context) ([]archive.Object, error) {
+	data, err := c.do(ctx, http.MethodGet, nil, nil, "list")
 	if err != nil {
 		return nil, err
 	}
@@ -114,9 +316,14 @@ func (c *Client) List() ([]archive.Object, error) {
 	return objs, nil
 }
 
-// Layout fetches the site's striping parameters.
-func (c *Client) Layout() (archive.StripeLayout, error) {
-	data, err := c.do(http.MethodGet, "/layout", nil)
+// List fetches the site's object listing.
+func (c *Client) List() ([]archive.Object, error) {
+	return c.ListCtx(context.Background())
+}
+
+// LayoutCtx fetches the site's striping parameters.
+func (c *Client) LayoutCtx(ctx context.Context) (archive.StripeLayout, error) {
+	data, err := c.do(ctx, http.MethodGet, nil, nil, "layout")
 	if err != nil {
 		return archive.StripeLayout{}, err
 	}
@@ -127,46 +334,87 @@ func (c *Client) Layout() (archive.StripeLayout, error) {
 	return lay, nil
 }
 
-// Graph fetches the site's erasure graph (GraphML over the wire).
-func (c *Client) Graph() (*graph.Graph, error) {
-	data, err := c.do(http.MethodGet, "/graph", nil)
+// Layout fetches the site's striping parameters.
+func (c *Client) Layout() (archive.StripeLayout, error) {
+	return c.LayoutCtx(context.Background())
+}
+
+// GraphCtx fetches the site's erasure graph (GraphML over the wire).
+func (c *Client) GraphCtx(ctx context.Context) (*graph.Graph, error) {
+	data, err := c.do(ctx, http.MethodGet, nil, nil, "graph")
 	if err != nil {
 		return nil, err
 	}
 	return graphml.Decode(bytes.NewReader(data))
 }
 
+// Graph fetches the site's erasure graph (GraphML over the wire).
+func (c *Client) Graph() (*graph.Graph, error) {
+	return c.GraphCtx(context.Background())
+}
+
+// ReadBlockCtx fetches one verified block; missing, rotted, and
+// out-of-range blocks all report ErrNotFound.
+func (c *Client) ReadBlockCtx(ctx context.Context, name string, stripe, node int) ([]byte, error) {
+	return c.do(ctx, http.MethodGet, blockQuery(stripe, node), nil, nameSegments("blocks", name)...)
+}
+
 // ReadBlock fetches one verified block; missing, rotted, and out-of-range
 // blocks all report ErrNotFound.
 func (c *Client) ReadBlock(name string, stripe, node int) ([]byte, error) {
-	return c.do(http.MethodGet, fmt.Sprintf("/blocks/%s?stripe=%d&node=%d", escape(name), stripe, node), nil)
+	return c.ReadBlockCtx(context.Background(), name, stripe, node)
+}
+
+// WriteBlockCtx restores one block to its home device at the site.
+func (c *Client) WriteBlockCtx(ctx context.Context, name string, stripe, node int, payload []byte) error {
+	_, err := c.do(ctx, http.MethodPut, blockQuery(stripe, node), payload, nameSegments("blocks", name)...)
+	return err
 }
 
 // WriteBlock restores one block to its home device at the site.
 func (c *Client) WriteBlock(name string, stripe, node int, payload []byte) error {
-	_, err := c.do(http.MethodPut, fmt.Sprintf("/blocks/%s?stripe=%d&node=%d", escape(name), stripe, node), payload)
+	return c.WriteBlockCtx(context.Background(), name, stripe, node, payload)
+}
+
+// PutShellCtx registers object metadata at the site without uploading data
+// (blocks follow via WriteBlock).
+func (c *Client) PutShellCtx(ctx context.Context, name string, size, stripes int) error {
+	q := url.Values{
+		"size":    []string{strconv.Itoa(size)},
+		"stripes": []string{strconv.Itoa(stripes)},
+	}
+	_, err := c.do(ctx, http.MethodPost, q, nil, nameSegments("shell", name)...)
 	return err
 }
 
 // PutShell registers object metadata at the site without uploading data
 // (blocks follow via WriteBlock).
 func (c *Client) PutShell(name string, size, stripes int) error {
-	_, err := c.do(http.MethodPost, fmt.Sprintf("/shell/%s?size=%d&stripes=%d", escape(name), size, stripes), nil)
-	return err
+	return c.PutShellCtx(context.Background(), name, size, stripes)
+}
+
+// HealthCtx runs a non-mutating scrub at the site and returns the report.
+func (c *Client) HealthCtx(ctx context.Context) (archive.ScrubReport, error) {
+	return c.scrub(ctx, http.MethodGet, "health")
 }
 
 // Health runs a non-mutating scrub at the site and returns the report.
 func (c *Client) Health() (archive.ScrubReport, error) {
-	return c.scrub(http.MethodGet, "/health")
+	return c.HealthCtx(context.Background())
+}
+
+// ScrubCtx runs a repairing scrub at the site and returns the report.
+func (c *Client) ScrubCtx(ctx context.Context) (archive.ScrubReport, error) {
+	return c.scrub(ctx, http.MethodPost, "scrub")
 }
 
 // Scrub runs a repairing scrub at the site and returns the report.
 func (c *Client) Scrub() (archive.ScrubReport, error) {
-	return c.scrub(http.MethodPost, "/scrub")
+	return c.ScrubCtx(context.Background())
 }
 
-func (c *Client) scrub(method, path string) (archive.ScrubReport, error) {
-	data, err := c.do(method, path, nil)
+func (c *Client) scrub(ctx context.Context, method, path string) (archive.ScrubReport, error) {
+	data, err := c.do(ctx, method, nil, nil, path)
 	if err != nil {
 		return archive.ScrubReport{}, err
 	}
@@ -180,24 +428,6 @@ func (c *Client) scrub(method, path string) (archive.ScrubReport, error) {
 // IsNotFound reports whether err is the cross-site not-found error.
 func IsNotFound(err error) bool { return errors.Is(err, ErrNotFound) }
 
-func escape(name string) string {
-	// Object names may contain slashes (they are path-like); escape each
-	// segment so the wildcard route reassembles them.
-	segs := bytes.Split([]byte(name), []byte("/"))
-	out := make([]string, len(segs))
-	for i, s := range segs {
-		out[i] = url.PathEscape(string(s))
-	}
-	return joinSlash(out)
-}
-
-func joinSlash(parts []string) string {
-	s := ""
-	for i, p := range parts {
-		if i > 0 {
-			s += "/"
-		}
-		s += p
-	}
-	return s
-}
+// IsUnavailable reports whether err means the site itself is down or
+// unreachable (as opposed to a definitive answer about an object).
+func IsUnavailable(err error) bool { return errors.Is(err, ErrUnavailable) }

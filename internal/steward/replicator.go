@@ -1,11 +1,15 @@
 package steward
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
 
 	"tornado/internal/archive"
 	"tornado/internal/codec"
+	"tornado/internal/obs"
 )
 
 // Replicator stewards objects across two or more sites, each protecting
@@ -15,68 +19,251 @@ import (
 // real byte-level version of the paper's block exchange: partial peeling
 // at each site, recovered data blocks shared between sites, repeated to
 // fixpoint.
+//
+// The replicator tracks per-site health: a site whose client reports
+// ErrUnavailable is marked unhealthy, skipped by reads and steward passes
+// (recording a detection in the metrics registry), and probed for
+// re-admission on the next pass instead of failing the whole operation.
 type Replicator struct {
-	sites  []*Client
-	codecs []*codec.Codec
-	layout archive.StripeLayout
+	sites []*Client
+
+	mu         sync.Mutex
+	codecs     []*codec.Codec
+	layout     archive.StripeLayout
+	haveLayout bool
+	health     []siteHealth
+
+	metrics *obs.Registry
+}
+
+// siteHealth is the replicator's view of one site.
+type siteHealth struct {
+	healthy bool
+	lastErr error
+}
+
+// SiteStatus reports one site's health as seen by the replicator.
+type SiteStatus struct {
+	Site    int
+	URL     string
+	Healthy bool
+	// LastError is the failure that marked the site unhealthy ("" while
+	// healthy).
+	LastError string
 }
 
 // NewReplicator connects the sites and verifies they agree on striping
 // (block size and data-node count must match for blocks to be exchanged;
-// graphs may — and should — differ).
+// graphs may — and should — differ). A site that is unreachable at
+// construction starts unhealthy instead of failing the federation — the
+// next steward pass probes it for admission — but at least one site must
+// answer, and striping disagreement between reachable sites is always a
+// hard error.
 func NewReplicator(sites ...*Client) (*Replicator, error) {
 	if len(sites) < 2 {
 		return nil, fmt.Errorf("steward: need at least 2 sites, got %d", len(sites))
 	}
-	r := &Replicator{sites: sites}
-	for i, c := range sites {
-		lay, err := c.Layout()
-		if err != nil {
-			return nil, fmt.Errorf("steward: site %d layout: %w", i, err)
-		}
-		if i == 0 {
-			r.layout = lay
-		} else if lay.BlockSize != r.layout.BlockSize || lay.DataNodes != r.layout.DataNodes {
-			return nil, fmt.Errorf("steward: site %d striping (%d×%d) differs from site 0 (%d×%d)",
-				i, lay.DataNodes, lay.BlockSize, r.layout.DataNodes, r.layout.BlockSize)
-		}
-		g, err := c.Graph()
-		if err != nil {
-			return nil, fmt.Errorf("steward: site %d graph: %w", i, err)
-		}
-		cd, err := codec.New(g, lay.BlockSize)
-		if err != nil {
+	r := &Replicator{
+		sites:   sites,
+		codecs:  make([]*codec.Codec, len(sites)),
+		health:  make([]siteHealth, len(sites)),
+		metrics: obs.NewRegistry(),
+	}
+	ctx := context.Background()
+	reachable := 0
+	for i := range sites {
+		err := r.admit(ctx, i)
+		switch {
+		case err == nil:
+			r.health[i] = siteHealth{healthy: true}
+			r.siteGauge(i).Set(1)
+			reachable++
+		case IsUnavailable(err):
+			r.health[i] = siteHealth{healthy: false, lastErr: err}
+			r.siteGauge(i).Set(0)
+			r.metrics.Counter("steward.site_down_detected").Inc()
+		default:
 			return nil, err
 		}
-		r.codecs = append(r.codecs, cd)
+	}
+	if reachable == 0 {
+		return nil, fmt.Errorf("%w: none of the %d sites answered", ErrUnavailable, len(sites))
 	}
 	return r, nil
+}
+
+// admit fetches site i's layout and graph, checks striping agreement with
+// the federation, and builds the site's codec. It runs at construction and
+// again when a steward pass probes an unhealthy site for re-admission (a
+// site first seen down has no codec until its graph can be fetched).
+func (r *Replicator) admit(ctx context.Context, i int) error {
+	c := r.sites[i]
+	lay, err := c.LayoutCtx(ctx)
+	if err != nil {
+		return fmt.Errorf("steward: site %d layout: %w", i, err)
+	}
+	r.mu.Lock()
+	if !r.haveLayout {
+		r.layout = lay
+		r.haveLayout = true
+	} else if lay.BlockSize != r.layout.BlockSize || lay.DataNodes != r.layout.DataNodes {
+		ref := r.layout
+		r.mu.Unlock()
+		return fmt.Errorf("steward: site %d striping (%d×%d) differs from federation (%d×%d)",
+			i, lay.DataNodes, lay.BlockSize, ref.DataNodes, ref.BlockSize)
+	}
+	hasCodec := r.codecs[i] != nil
+	r.mu.Unlock()
+	if hasCodec {
+		return nil
+	}
+	g, err := c.GraphCtx(ctx)
+	if err != nil {
+		return fmt.Errorf("steward: site %d graph: %w", i, err)
+	}
+	cd, err := codec.New(g, lay.BlockSize)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	if r.codecs[i] == nil {
+		r.codecs[i] = cd
+	}
+	r.mu.Unlock()
+	return nil
 }
 
 // Sites returns the number of federated sites.
 func (r *Replicator) Sites() int { return len(r.sites) }
 
-// Put stores the object at every site; each site encodes it with its own
-// graph. Partial failures are rolled back so the namespace stays
-// consistent.
+// Metrics returns the replicator's metric registry: per-site health gauges
+// (steward.site.<i>.healthy), down/readmission counters, and steward-pass
+// repair totals. Serve it with Metrics().Handler() for a /metrics
+// endpoint.
+func (r *Replicator) Metrics() *obs.Registry { return r.metrics }
+
+func (r *Replicator) siteGauge(i int) *obs.Gauge {
+	return r.metrics.Gauge(fmt.Sprintf("steward.site.%d.healthy", i))
+}
+
+// Health returns the current per-site status.
+func (r *Replicator) Health() []SiteStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SiteStatus, len(r.sites))
+	for i := range r.sites {
+		out[i] = SiteStatus{
+			Site:    i,
+			URL:     r.sites[i].BaseURL(),
+			Healthy: r.health[i].healthy,
+		}
+		if r.health[i].lastErr != nil {
+			out[i].LastError = r.health[i].lastErr.Error()
+		}
+	}
+	return out
+}
+
+// markDown records a site-down detection; it is idempotent per outage.
+func (r *Replicator) markDown(i int, err error) {
+	r.mu.Lock()
+	wasHealthy := r.health[i].healthy
+	r.health[i] = siteHealth{healthy: false, lastErr: err}
+	r.mu.Unlock()
+	if wasHealthy {
+		r.metrics.Counter("steward.site_down_detected").Inc()
+		r.siteGauge(i).Set(0)
+	}
+}
+
+// markUp re-admits a site after a successful probe.
+func (r *Replicator) markUp(i int) {
+	r.mu.Lock()
+	wasDown := !r.health[i].healthy
+	r.health[i] = siteHealth{healthy: true}
+	r.mu.Unlock()
+	if wasDown {
+		r.metrics.Counter("steward.site_readmitted").Inc()
+		r.siteGauge(i).Set(1)
+	}
+}
+
+func (r *Replicator) isHealthy(i int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.health[i].healthy
+}
+
+// liveSites returns the indices of currently healthy sites.
+func (r *Replicator) liveSites() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var live []int
+	for i := range r.sites {
+		if r.health[i].healthy {
+			live = append(live, i)
+		}
+	}
+	return live
+}
+
+// noteErr marks the site down when err is a site failure (unavailable
+// after retries), and reports whether it did.
+func (r *Replicator) noteErr(i int, err error) bool {
+	if IsUnavailable(err) {
+		r.markDown(i, err)
+		return true
+	}
+	return false
+}
+
+// Put stores the object at every healthy site; each site encodes it with
+// its own graph. Definitive failures (name conflicts and the like) are
+// rolled back so the namespace stays consistent; a site that goes down
+// mid-put is skipped — the next steward pass re-replicates to it.
 func (r *Replicator) Put(name string, data []byte) error {
+	return r.PutCtx(context.Background(), name, data)
+}
+
+// PutCtx is Put with cancellation and graceful degradation around down
+// sites. It errors only when no site stored the object.
+func (r *Replicator) PutCtx(ctx context.Context, name string, data []byte) error {
+	var stored []int
 	for i, c := range r.sites {
-		if err := c.Put(name, data); err != nil {
-			for _, back := range r.sites[:i] {
-				_ = back.Delete(name)
+		if !r.isHealthy(i) {
+			continue
+		}
+		if err := c.PutCtx(ctx, name, data); err != nil {
+			if ctx.Err() == nil && r.noteErr(i, err) {
+				continue // went down mid-put; the steward pass will heal it
+			}
+			for _, j := range stored {
+				_ = r.sites[j].DeleteCtx(ctx, name)
 			}
 			return fmt.Errorf("steward: put at site %d: %w", i, err)
 		}
+		stored = append(stored, i)
+	}
+	if len(stored) == 0 {
+		return fmt.Errorf("%w: no healthy site accepted %q", ErrUnavailable, name)
 	}
 	return nil
 }
 
 // Delete removes the object from every site.
 func (r *Replicator) Delete(name string) error {
+	return r.DeleteCtx(context.Background(), name)
+}
+
+// DeleteCtx is Delete with cancellation and deadlines.
+func (r *Replicator) DeleteCtx(ctx context.Context, name string) error {
 	var firstErr error
 	for i, c := range r.sites {
-		if err := c.Delete(name); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("steward: delete at site %d: %w", i, err)
+		if err := c.DeleteCtx(ctx, name); err != nil {
+			r.noteErr(i, err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("steward: delete at site %d: %w", i, err)
+			}
 		}
 	}
 	return firstErr
@@ -85,23 +272,47 @@ func (r *Replicator) Delete(name string) error {
 // Get retrieves the object: each site is tried in turn, and if all report
 // data loss the federated block exchange runs.
 func (r *Replicator) Get(name string) ([]byte, error) {
+	return r.GetCtx(context.Background(), name)
+}
+
+// GetCtx is Get with cancellation and graceful degradation: a site that
+// fails at the transport level is marked unhealthy and skipped rather than
+// aborting the read.
+func (r *Replicator) GetCtx(ctx context.Context, name string) ([]byte, error) {
 	sawLoss := false
-	for _, c := range r.sites {
-		data, err := c.Get(name)
+	tried, down := 0, 0
+	for i, c := range r.sites {
+		if !r.isHealthy(i) {
+			continue
+		}
+		tried++
+		data, err := c.GetCtx(ctx, name)
 		if err == nil {
 			return data, nil
 		}
-		if errors.Is(err, ErrDataLoss) {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		switch {
+		case errors.Is(err, ErrDataLoss):
 			sawLoss = true
-			continue
+		case IsNotFound(err):
+		case r.noteErr(i, err):
+			down++ // site down: skip it, keep reading from the others
+		default:
+			return nil, err
 		}
-		if IsNotFound(err) {
-			continue
-		}
-		return nil, err
 	}
 	if sawLoss {
-		return r.ExchangeRecover(name)
+		return r.ExchangeRecoverCtx(ctx, name)
+	}
+	if tried == 0 {
+		return nil, fmt.Errorf("%w: all %d sites unhealthy", ErrUnavailable, len(r.sites))
+	}
+	if down > 0 {
+		// A down site may still hold the object; don't report not-found.
+		return nil, fmt.Errorf("%w: %d of %d tried sites went down reading %q",
+			ErrUnavailable, down, tried, name)
 	}
 	return nil, fmt.Errorf("%w: %q at all %d sites", ErrNotFound, name, len(r.sites))
 }
@@ -113,48 +324,72 @@ func (r *Replicator) Get(name string) ([]byte, error) {
 // others' partial decodes, and the loop repeats until some site completes
 // or no progress is possible.
 func (r *Replicator) ExchangeRecover(name string) ([]byte, error) {
-	obj, err := r.statAny(name)
+	return r.ExchangeRecoverCtx(context.Background(), name)
+}
+
+// ExchangeRecoverCtx is ExchangeRecover with cancellation; unhealthy sites
+// are excluded from the exchange.
+func (r *Replicator) ExchangeRecoverCtx(ctx context.Context, name string) ([]byte, error) {
+	obj, err := r.statAny(ctx, name)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]byte, 0, obj.Size)
 	for st := 0; st < obj.Stripes; st++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		want := obj.Size - st*r.stripeCapacity()
 		if want > r.stripeCapacity() {
 			want = r.stripeCapacity()
 		}
-		payload, err := r.recoverStripe(name, st, want)
+		payload, err := r.recoverStripe(ctx, name, st, want)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, payload...)
 	}
+	r.metrics.Counter("steward.exchange_recoveries").Inc()
 	return out, nil
 }
 
 func (r *Replicator) stripeCapacity() int { return r.layout.DataNodes * r.layout.BlockSize }
 
-func (r *Replicator) statAny(name string) (archive.Object, error) {
+func (r *Replicator) statAny(ctx context.Context, name string) (archive.Object, error) {
 	var lastErr error
-	for _, c := range r.sites {
-		obj, err := c.Stat(name)
+	for _, i := range r.liveSites() {
+		obj, err := r.sites[i].StatCtx(ctx, name)
 		if err == nil {
 			return obj, nil
 		}
+		r.noteErr(i, err)
 		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("%w: no healthy site", ErrUnavailable)
 	}
 	return archive.Object{}, fmt.Errorf("steward: %q unknown at every site: %w", name, lastErr)
 }
 
-func (r *Replicator) recoverStripe(name string, stripe, payloadLen int) ([]byte, error) {
-	// Fetch what each site still has.
-	perSite := make([][][]byte, len(r.sites))
-	for i, c := range r.sites {
+func (r *Replicator) recoverStripe(ctx context.Context, name string, stripe, payloadLen int) ([]byte, error) {
+	live := r.liveSites()
+	if len(live) == 0 {
+		return nil, fmt.Errorf("%w: no healthy site for exchange", ErrUnavailable)
+	}
+	// Fetch what each live site still has.
+	perSite := make(map[int][][]byte, len(live))
+	for _, i := range live {
+		c := r.sites[i]
 		blocks := make([][]byte, r.codecs[i].Graph().Total)
 		for node := range blocks {
-			b, err := c.ReadBlock(name, stripe, node)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			b, err := c.ReadBlockCtx(ctx, name, stripe, node)
 			if err == nil {
 				blocks[node] = b
+			} else if r.noteErr(i, err) {
+				break // site went down mid-fetch; use what we have
 			}
 		}
 		perSite[i] = blocks
@@ -164,7 +399,7 @@ func (r *Replicator) recoverStripe(name string, stripe, payloadLen int) ([]byte,
 	for {
 		// Let every site peel as far as it can (Repair fills recovered
 		// blocks in place even when it ultimately fails).
-		for i := range r.sites {
+		for _, i := range live {
 			if err := r.codecs[i].Repair(perSite[i]); err == nil {
 				return r.codecs[i].Decode(perSite[i], payloadLen)
 			}
@@ -173,7 +408,7 @@ func (r *Replicator) recoverStripe(name string, stripe, payloadLen int) ([]byte,
 		progress := false
 		for v := 0; v < data; v++ {
 			var have []byte
-			for i := range r.sites {
+			for _, i := range live {
 				if perSite[i][v] != nil {
 					have = perSite[i][v]
 					break
@@ -182,7 +417,7 @@ func (r *Replicator) recoverStripe(name string, stripe, payloadLen int) ([]byte,
 			if have == nil {
 				continue
 			}
-			for i := range r.sites {
+			for _, i := range live {
 				if perSite[i][v] == nil {
 					perSite[i][v] = have
 					progress = true
@@ -190,8 +425,8 @@ func (r *Replicator) recoverStripe(name string, stripe, payloadLen int) ([]byte,
 			}
 		}
 		if !progress {
-			return nil, fmt.Errorf("%w: %q stripe %d lost at all %d sites even with block exchange",
-				ErrDataLoss, name, stripe, len(r.sites))
+			return nil, fmt.Errorf("%w: %q stripe %d lost at all %d reachable sites even with block exchange",
+				ErrDataLoss, name, stripe, len(live))
 		}
 	}
 }
@@ -200,12 +435,19 @@ func (r *Replicator) recoverStripe(name string, stripe, payloadLen int) ([]byte,
 // site and triggers a repairing scrub so each site re-derives its own
 // check blocks — the "restoring just one critical data node" cycle closed.
 func (r *Replicator) RestoreSites(name string, data []byte) error {
-	obj, err := r.statAny(name)
+	return r.RestoreSitesCtx(context.Background(), name, data)
+}
+
+// RestoreSitesCtx is RestoreSites with cancellation; unhealthy sites are
+// skipped (the next steward pass re-replicates once they return).
+func (r *Replicator) RestoreSitesCtx(ctx context.Context, name string, data []byte) error {
+	obj, err := r.statAny(ctx, name)
 	if err != nil {
 		return err
 	}
 	cap := r.stripeCapacity()
-	for i, c := range r.sites {
+	for _, i := range r.liveSites() {
+		c := r.sites[i]
 		blocksDone := 0
 		for st := 0; st < obj.Stripes; st++ {
 			lo := st * cap
@@ -215,17 +457,172 @@ func (r *Replicator) RestoreSites(name string, data []byte) error {
 				return err
 			}
 			for node, b := range blocks {
-				if err := c.WriteBlock(name, st, node, b); err == nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				if err := c.WriteBlockCtx(ctx, name, st, node, b); err == nil {
 					blocksDone++
+				} else if r.noteErr(i, err) {
+					break
 				}
 			}
+		}
+		if !r.isHealthy(i) {
+			continue // went down mid-restore; steward pass will retry
 		}
 		if blocksDone == 0 {
 			return fmt.Errorf("steward: site %d accepted no restored blocks", i)
 		}
-		if _, err := c.Scrub(); err != nil {
+		if _, err := c.ScrubCtx(ctx); err != nil {
+			if r.noteErr(i, err) {
+				continue
+			}
 			return fmt.Errorf("steward: site %d scrub after restore: %w", i, err)
 		}
 	}
 	return nil
+}
+
+// StewardReport summarizes one steward pass.
+type StewardReport struct {
+	// Sites is the post-pass health of every site.
+	Sites []SiteStatus
+	// SkippedSites lists sites that were down for the whole pass.
+	SkippedSites []int
+	// ReadmittedSites lists sites that came back this pass.
+	ReadmittedSites []int
+	// ObjectsExamined counts distinct object names seen across live sites.
+	ObjectsExamined int
+	// ObjectsRestored counts per-site object copies re-replicated because a
+	// live site was missing them.
+	ObjectsRestored int
+	// BlocksRepaired totals block-level scrub repairs across live sites.
+	BlocksRepaired int
+	// Unrecoverable lists objects no combination of live sites could serve.
+	Unrecoverable []string
+}
+
+// StewardPass runs one federation maintenance sweep:
+//
+//  1. every unhealthy site is probed (cheap layout fetch) and re-admitted
+//     if it answers;
+//  2. object listings are merged across live sites, and any live site
+//     missing an object gets it re-replicated from the others (falling
+//     back to block exchange when no single site can serve it);
+//  3. every live site runs a repairing scrub.
+//
+// A site that fails mid-pass is marked unhealthy, recorded, and skipped —
+// one dead site never fails the pass. The pass itself only errors when no
+// site is reachable at all or the context is done.
+func (r *Replicator) StewardPass(ctx context.Context) (StewardReport, error) {
+	r.metrics.Counter("steward.passes").Inc()
+	var rep StewardReport
+
+	// 1. Probe unhealthy sites for (re-)admission; a site first seen down
+	// gets its codec built here once its graph is finally fetchable.
+	for i := range r.sites {
+		if r.isHealthy(i) {
+			continue
+		}
+		if err := r.admit(ctx, i); err == nil {
+			r.markUp(i)
+			rep.ReadmittedSites = append(rep.ReadmittedSites, i)
+		} else if ctx.Err() != nil {
+			return rep, ctx.Err()
+		}
+	}
+
+	// 2. Merge listings across live sites; a listing failure demotes the
+	// site for the rest of the pass.
+	has := map[string]map[int]bool{} // name → sites holding it
+	for _, i := range r.liveSites() {
+		objs, err := r.sites[i].ListCtx(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return rep, ctx.Err()
+			}
+			r.noteErr(i, err)
+			continue
+		}
+		for _, o := range objs {
+			if has[o.Name] == nil {
+				has[o.Name] = map[int]bool{}
+			}
+			has[o.Name][i] = true
+		}
+	}
+	live := r.liveSites()
+	if len(live) == 0 {
+		return rep, fmt.Errorf("%w: no site reachable for steward pass", ErrUnavailable)
+	}
+
+	names := make([]string, 0, len(has))
+	for name := range has {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rep.ObjectsExamined = len(names)
+
+	// Re-replicate objects missing from live sites.
+	for _, name := range names {
+		holders := has[name]
+		var missing []int
+		for _, i := range r.liveSites() {
+			if !holders[i] {
+				missing = append(missing, i)
+			}
+		}
+		if len(missing) == 0 {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		data, err := r.GetCtx(ctx, name)
+		if err != nil {
+			if ctx.Err() != nil {
+				return rep, ctx.Err()
+			}
+			rep.Unrecoverable = append(rep.Unrecoverable, name)
+			r.metrics.Counter("steward.objects_unrecoverable").Inc()
+			continue
+		}
+		for _, i := range missing {
+			if !r.isHealthy(i) {
+				continue
+			}
+			err := r.sites[i].PutCtx(ctx, name, data)
+			if err != nil && errors.Is(err, ErrExists) {
+				err = nil // listed late (e.g. racing writer); already there
+			}
+			if err != nil {
+				r.noteErr(i, err)
+				continue
+			}
+			rep.ObjectsRestored++
+			r.metrics.Counter("steward.objects_restored").Inc()
+		}
+	}
+
+	// 3. Repairing scrub at every live site.
+	for _, i := range r.liveSites() {
+		srep, err := r.sites[i].ScrubCtx(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return rep, ctx.Err()
+			}
+			r.noteErr(i, err)
+			continue
+		}
+		rep.BlocksRepaired += srep.BlocksRepaired
+	}
+	r.metrics.Counter("steward.blocks_repaired").Add(int64(rep.BlocksRepaired))
+
+	rep.Sites = r.Health()
+	for _, s := range rep.Sites {
+		if !s.Healthy {
+			rep.SkippedSites = append(rep.SkippedSites, s.Site)
+		}
+	}
+	return rep, nil
 }

@@ -1,0 +1,429 @@
+package steward
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastOptions keeps retry tests quick: real backoff shape, tiny delays.
+func fastOptions(hc *http.Client) ClientOptions {
+	return ClientOptions{
+		HTTPClient:  hc,
+		MaxAttempts: 3,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  4 * time.Millisecond,
+	}
+}
+
+// flakySite answers 5xx for the first failN requests, then delegates.
+func flakySite(failN int64, next http.Handler) (*httptest.Server, *atomic.Int64) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= failN {
+			http.Error(w, "transient overload", http.StatusServiceUnavailable)
+			return
+		}
+		next.ServeHTTP(w, r)
+	}))
+	return srv, &hits
+}
+
+func TestClientRetriesTransientServerErrors(t *testing.T) {
+	ok := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("[]"))
+	})
+	srv, hits := flakySite(2, ok)
+	defer srv.Close()
+
+	c := NewClientWithOptions(srv.URL, fastOptions(srv.Client()))
+	objs, err := c.List()
+	if err != nil {
+		t.Fatalf("list through flaky site: %v", err)
+	}
+	if len(objs) != 0 {
+		t.Errorf("objs = %v", objs)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3 (2 failures + success)", got)
+	}
+	snap := c.Metrics().Snapshot()
+	if snap.Counters["client.retries"] != 2 {
+		t.Errorf("client.retries = %d, want 2", snap.Counters["client.retries"])
+	}
+	if snap.Counters["client.failures"] != 0 {
+		t.Errorf("client.failures = %d, want 0", snap.Counters["client.failures"])
+	}
+}
+
+func TestClientReportsUnavailableAfterRetryBudget(t *testing.T) {
+	srv, hits := flakySite(1<<30, nil) // never recovers
+	defer srv.Close()
+
+	c := NewClientWithOptions(srv.URL, fastOptions(srv.Client()))
+	_, err := c.List()
+	if !IsUnavailable(err) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want MaxAttempts=3", got)
+	}
+	snap := c.Metrics().Snapshot()
+	if snap.Counters["client.failures"] != 1 {
+		t.Errorf("client.failures = %d, want 1", snap.Counters["client.failures"])
+	}
+}
+
+func TestClientNeverRetries4xx(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "no such object", http.StatusNotFound)
+	}))
+	defer srv.Close()
+
+	c := NewClientWithOptions(srv.URL, fastOptions(srv.Client()))
+	_, err := c.Get("missing")
+	if !IsNotFound(err) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if IsUnavailable(err) {
+		t.Error("definitive 404 classified as site-unavailable")
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("server saw %d requests, want exactly 1 (4xx must not retry)", got)
+	}
+	if n := c.Metrics().Snapshot().Counters["client.retries"]; n != 0 {
+		t.Errorf("client.retries = %d, want 0", n)
+	}
+}
+
+func TestClientHonorsCancellationDuringBackoff(t *testing.T) {
+	srv, _ := flakySite(1<<30, nil)
+	defer srv.Close()
+
+	opts := fastOptions(srv.Client())
+	opts.BaseBackoff = time.Hour // park the retry loop in its backoff sleep
+	opts.MaxBackoff = time.Hour
+	c := NewClientWithOptions(srv.URL, opts)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.ListCtx(ctx)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the first attempt fail
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancellation did not interrupt the backoff sleep")
+	}
+}
+
+// TestHostileObjectNames is the regression test for the URL-building bugfix:
+// string concatenation mangled names containing %, ?, #, &, spaces, and
+// unicode; url.JoinPath + PathEscape must round-trip them all.
+func TestHostileObjectNames(t *testing.T) {
+	s := newSite(t, 60, 64)
+	names := []string{
+		"we ird/50%/a?b#c",
+		"100%",
+		"a&b=c",
+		"q?x=1&y=2",
+		"frag#ment",
+		"spaced out name",
+		"αβγ/δ.dat",
+		"plus+sign",
+		"semi;colon",
+	}
+	for _, name := range names {
+		data := randPayload(150, 60)
+		if err := s.client.Put(name, data); err != nil {
+			t.Errorf("put %q: %v", name, err)
+			continue
+		}
+		got, err := s.client.Get(name)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Errorf("get %q: %v", name, err)
+			continue
+		}
+		obj, err := s.client.Stat(name)
+		if err != nil || obj.Name != name {
+			t.Errorf("stat %q → %q, %v", name, obj.Name, err)
+		}
+		if b, err := s.client.ReadBlock(name, 0, 0); err != nil || !bytes.Equal(b, data[:64]) {
+			t.Errorf("read block of %q: %v", name, err)
+		}
+		if err := s.client.Delete(name); err != nil {
+			t.Errorf("delete %q: %v", name, err)
+		}
+		if _, err := s.client.Get(name); !IsNotFound(err) {
+			t.Errorf("get after delete %q: %v", name, err)
+		}
+	}
+}
+
+func TestClientTrailingSlashBaseURL(t *testing.T) {
+	s := newSite(t, 61, 64)
+	c := NewClient(s.httpSrv.URL+"/", s.httpSrv.Client())
+	data := randPayload(100, 61)
+	if err := c.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("obj")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("trailing-slash base: %v", err)
+	}
+}
+
+func TestServerPanicRecovery(t *testing.T) {
+	s := newSite(t, 62, 64)
+	boom := s.srv.instrument("boom", func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	})
+	rec := httptest.NewRecorder()
+	boom(rec, httptest.NewRequest(http.MethodGet, "/boom", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", rec.Code)
+	}
+	snap := s.srv.Metrics().Snapshot()
+	if snap.Counters["server.panics"] != 1 {
+		t.Errorf("server.panics = %d, want 1", snap.Counters["server.panics"])
+	}
+	if snap.Counters["http.boom.errors"] != 1 {
+		t.Errorf("http.boom.errors = %d, want 1", snap.Counters["http.boom.errors"])
+	}
+}
+
+func TestServerMetricsAndHealthzEndpoints(t *testing.T) {
+	s := newSite(t, 63, 64)
+	if err := s.client.Put("obj", randPayload(64, 63)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.httpSrv.Client().Get(s.httpSrv.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v status=%v", err, resp)
+	}
+	resp.Body.Close()
+	resp, err = s.httpSrv.Client().Get(s.httpSrv.URL + "/metrics")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %v", err)
+	}
+	resp.Body.Close()
+	snap := s.srv.Metrics().Snapshot()
+	if snap.Counters["http.put_object.requests"] != 1 {
+		t.Errorf("put_object.requests = %d, want 1", snap.Counters["http.put_object.requests"])
+	}
+	if snap.Histograms["http.put_object.latency"].Count != 1 {
+		t.Error("put latency not observed")
+	}
+}
+
+// threeSiteFederation builds a 3-site replicator with fast retry options.
+func threeSiteFederation(t *testing.T) (sites []*site, r *Replicator) {
+	t.Helper()
+	for i := uint64(0); i < 3; i++ {
+		sites = append(sites, newSite(t, 70+i, 64))
+	}
+	var clients []*Client
+	for _, s := range sites {
+		clients = append(clients, NewClientWithOptions(s.httpSrv.URL, fastOptions(s.httpSrv.Client())))
+	}
+	r, err := NewReplicator(clients...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sites, r
+}
+
+// TestStewardPassDegradesAroundDeadSite is the issue's acceptance scenario:
+// three sites, one hard-down; the pass completes, records the dead site
+// unhealthy in the metrics, and repairs everything the two live sites can
+// cover.
+func TestStewardPassDegradesAroundDeadSite(t *testing.T) {
+	sites, r := threeSiteFederation(t)
+
+	objA := randPayload(500, 70)
+	objB := randPayload(300, 71)
+	if err := r.Put("alpha", objA); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put("beta", objB); err != nil {
+		t.Fatal(err)
+	}
+	// Site 1 loses its copy of beta (simulated local mishap) so the pass
+	// has something to re-replicate.
+	if err := sites[1].client.Delete("beta"); err != nil {
+		t.Fatal(err)
+	}
+	// Site 2 goes hard down.
+	sites[2].httpSrv.Close()
+
+	rep, err := r.StewardPass(context.Background())
+	if err != nil {
+		t.Fatalf("steward pass with one dead site: %v", err)
+	}
+	if len(rep.SkippedSites) != 1 || rep.SkippedSites[0] != 2 {
+		t.Errorf("SkippedSites = %v, want [2]", rep.SkippedSites)
+	}
+	if rep.ObjectsExamined != 2 {
+		t.Errorf("ObjectsExamined = %d, want 2", rep.ObjectsExamined)
+	}
+	if rep.ObjectsRestored != 1 {
+		t.Errorf("ObjectsRestored = %d, want 1 (beta back to site 1)", rep.ObjectsRestored)
+	}
+	if len(rep.Unrecoverable) != 0 {
+		t.Errorf("Unrecoverable = %v", rep.Unrecoverable)
+	}
+
+	// The repair is real: site 1 serves beta again on its own.
+	got, err := sites[1].client.Get("beta")
+	if err != nil || !bytes.Equal(got, objB) {
+		t.Fatalf("site 1 beta after pass: %v", err)
+	}
+
+	// The outage is recorded in the metrics registry.
+	snap := r.Metrics().Snapshot()
+	if v := snap.Gauges["steward.site.2.healthy"]; v != 0 {
+		t.Errorf("steward.site.2.healthy = %d, want 0", v)
+	}
+	if v := snap.Gauges["steward.site.0.healthy"]; v != 1 {
+		t.Errorf("steward.site.0.healthy = %d, want 1", v)
+	}
+	if snap.Counters["steward.site_down_detected"] < 1 {
+		t.Error("no site-down detection recorded")
+	}
+	for _, st := range rep.Sites {
+		if st.Site == 2 {
+			if st.Healthy || st.LastError == "" {
+				t.Errorf("site 2 status = %+v, want unhealthy with error", st)
+			}
+		} else if !st.Healthy {
+			t.Errorf("site %d should be healthy: %+v", st.Site, st)
+		}
+	}
+
+	// Reads keep working against the degraded federation, without
+	// re-probing the dead site.
+	if got, err := r.Get("alpha"); err != nil || !bytes.Equal(got, objA) {
+		t.Fatalf("degraded get: %v", err)
+	}
+}
+
+func TestStewardPassReadmitsRecoveredSite(t *testing.T) {
+	_, r := threeSiteFederation(t)
+	if err := r.Put("obj", randPayload(200, 72)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a past outage of site 1; the site itself is fine, so the
+	// next pass's probe must re-admit it.
+	r.markDown(1, ErrUnavailable)
+	if v := r.Metrics().Snapshot().Gauges["steward.site.1.healthy"]; v != 0 {
+		t.Fatalf("precondition: gauge = %d", v)
+	}
+
+	rep, err := r.StewardPass(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ReadmittedSites) != 1 || rep.ReadmittedSites[0] != 1 {
+		t.Errorf("ReadmittedSites = %v, want [1]", rep.ReadmittedSites)
+	}
+	if len(rep.SkippedSites) != 0 {
+		t.Errorf("SkippedSites = %v", rep.SkippedSites)
+	}
+	snap := r.Metrics().Snapshot()
+	if v := snap.Gauges["steward.site.1.healthy"]; v != 1 {
+		t.Errorf("steward.site.1.healthy = %d, want 1", v)
+	}
+	if snap.Counters["steward.site_readmitted"] != 1 {
+		t.Errorf("site_readmitted = %d, want 1", snap.Counters["steward.site_readmitted"])
+	}
+}
+
+// TestNewReplicatorToleratesDeadSiteAtConstruction covers the CLI path:
+// `steward pass` builds its replicator at invocation time, when a site may
+// already be hard-down. Construction must succeed, the pass must degrade,
+// and the dead site's codec must be built lazily once it returns.
+func TestNewReplicatorToleratesDeadSiteAtConstruction(t *testing.T) {
+	a := newSite(t, 80, 64)
+	b := newSite(t, 81, 64)
+	c := newSite(t, 82, 64)
+	c.httpSrv.Close() // hard-down before the federation is even assembled
+
+	var clients []*Client
+	for _, s := range []*site{a, b, c} {
+		clients = append(clients, NewClientWithOptions(s.httpSrv.URL, fastOptions(s.httpSrv.Client())))
+	}
+	r, err := NewReplicator(clients...)
+	if err != nil {
+		t.Fatalf("construction with one dead site: %v", err)
+	}
+	if v := r.Metrics().Snapshot().Gauges["steward.site.2.healthy"]; v != 0 {
+		t.Errorf("steward.site.2.healthy = %d, want 0", v)
+	}
+
+	data := randPayload(400, 80)
+	if err := r.Put("obj", data); err != nil {
+		t.Fatalf("degraded put: %v", err)
+	}
+	if got, err := r.Get("obj"); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("degraded get: %v", err)
+	}
+	rep, err := r.StewardPass(context.Background())
+	if err != nil {
+		t.Fatalf("degraded pass: %v", err)
+	}
+	if len(rep.SkippedSites) != 1 || rep.SkippedSites[0] != 2 {
+		t.Errorf("SkippedSites = %v, want [2]", rep.SkippedSites)
+	}
+	// Both construction-reachable sites hold the object.
+	for i, s := range []*site{a, b} {
+		if got, err := s.client.Get("obj"); err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("site %d copy: %v", i, err)
+		}
+	}
+
+	// All sites dead at construction is still a hard error.
+	a.httpSrv.Close()
+	b.httpSrv.Close()
+	if _, err := NewReplicator(clients...); !IsUnavailable(err) {
+		t.Errorf("all-dead construction: %v, want ErrUnavailable", err)
+	}
+}
+
+func TestReplicatorGetReportsOutageNotNotFound(t *testing.T) {
+	sites, r := threeSiteFederation(t)
+	if err := r.Put("obj", randPayload(100, 73)); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sites {
+		s.httpSrv.Close()
+	}
+	_, err := r.Get("obj")
+	if !IsUnavailable(err) {
+		t.Errorf("err = %v, want ErrUnavailable (object may survive the outage)", err)
+	}
+	if IsNotFound(err) {
+		t.Error("total outage misreported as not-found")
+	}
+	// All sites are now marked down; the next read short-circuits.
+	_, err = r.Get("obj")
+	if !IsUnavailable(err) {
+		t.Errorf("second read: %v, want ErrUnavailable", err)
+	}
+	// And a steward pass against a fully dark federation errors.
+	if _, err := r.StewardPass(context.Background()); !IsUnavailable(err) {
+		t.Errorf("dark steward pass: %v, want ErrUnavailable", err)
+	}
+}

@@ -8,6 +8,13 @@
 // missing data nodes, restoring just one critical data node allows the
 // data graph to be reconstructed even when both graphs cannot
 // independently perform the reconstruction").
+//
+// The stack is context-first and observable: every client method has a
+// ...Ctx variant with per-request deadlines and bounded retry, the server
+// wraps each route in panic recovery and request metrics and exports them
+// at /metrics (JSON, see tornado/internal/obs) next to a /healthz liveness
+// probe, and the replicator degrades gracefully around down sites instead
+// of stalling a steward pass on the first unreachable peer.
 package steward
 
 import (
@@ -18,32 +25,39 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"tornado/internal/archive"
 	"tornado/internal/graphml"
+	"tornado/internal/obs"
 )
 
 // Server exposes one archive site over HTTP. It implements http.Handler.
+// Every route is wrapped in panic recovery and per-route request metrics;
+// the metrics are served at /metrics and a liveness probe at /healthz.
 type Server struct {
-	store *archive.Store
-	mux   *http.ServeMux
+	store   *archive.Store
+	mux     *http.ServeMux
+	metrics *obs.Registry
 }
 
 // NewServer wraps a site's store.
 func NewServer(store *archive.Store) *Server {
-	s := &Server{store: store, mux: http.NewServeMux()}
-	s.mux.HandleFunc("PUT /objects/{name...}", s.putObject)
-	s.mux.HandleFunc("GET /objects/{name...}", s.getObject)
-	s.mux.HandleFunc("DELETE /objects/{name...}", s.deleteObject)
-	s.mux.HandleFunc("GET /stat/{name...}", s.statObject)
-	s.mux.HandleFunc("GET /list", s.listObjects)
-	s.mux.HandleFunc("GET /layout", s.layout)
-	s.mux.HandleFunc("GET /graph", s.graph)
-	s.mux.HandleFunc("GET /blocks/{name...}", s.getBlock)
-	s.mux.HandleFunc("PUT /blocks/{name...}", s.putBlock)
-	s.mux.HandleFunc("POST /shell/{name...}", s.putShell)
-	s.mux.HandleFunc("GET /health", s.health)
-	s.mux.HandleFunc("POST /scrub", s.scrub)
+	s := &Server{store: store, mux: http.NewServeMux(), metrics: obs.NewRegistry()}
+	s.route("PUT /objects/{name...}", "put_object", s.putObject)
+	s.route("GET /objects/{name...}", "get_object", s.getObject)
+	s.route("DELETE /objects/{name...}", "delete_object", s.deleteObject)
+	s.route("GET /stat/{name...}", "stat_object", s.statObject)
+	s.route("GET /list", "list", s.listObjects)
+	s.route("GET /layout", "layout", s.layout)
+	s.route("GET /graph", "graph", s.graph)
+	s.route("GET /blocks/{name...}", "get_block", s.getBlock)
+	s.route("PUT /blocks/{name...}", "put_block", s.putBlock)
+	s.route("POST /shell/{name...}", "put_shell", s.putShell)
+	s.route("GET /health", "health", s.health)
+	s.route("POST /scrub", "scrub", s.scrub)
+	s.mux.Handle("GET /metrics", s.metrics.Handler())
+	s.route("GET /healthz", "healthz", s.healthz)
 	return s
 }
 
@@ -52,6 +66,66 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // Store returns the underlying archive (for test instrumentation).
 func (s *Server) Store() *archive.Store { return s.store }
+
+// Metrics returns the server's metric registry (also served at /metrics).
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// route registers a handler wrapped in the observation middleware; name
+// labels the route's metrics (http.<name>.requests / errors / latency).
+func (s *Server) route(pattern, name string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, s.instrument(name, h))
+}
+
+// statusWriter captures the response status for error accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with panic recovery and request metrics. A
+// panic is converted to a 500 and counted (server.panics) instead of
+// killing the connection servicing goroutine with a stack dump mid-pass.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	requests := s.metrics.Counter("http." + name + ".requests")
+	errs := s.metrics.Counter("http." + name + ".errors")
+	latency := s.metrics.Histogram("http." + name + ".latency")
+	panics := s.metrics.Counter("server.panics")
+	return func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			latency.Observe(time.Since(start))
+			if rec := recover(); rec != nil {
+				panics.Inc()
+				errs.Inc()
+				http.Error(sw, fmt.Sprintf("steward: internal error: %v", rec), http.StatusInternalServerError)
+				return
+			}
+			if sw.status >= 500 {
+				errs.Inc()
+			}
+		}()
+		h(sw, r)
+	}
+}
+
+// healthz is the liveness probe: cheap (no scrub), always 200 while the
+// process serves, with enough state to see the site is the one you meant.
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	lay := s.store.Layout()
+	writeJSON(w, map[string]any{
+		"status":     "ok",
+		"objects":    len(s.store.List()),
+		"data_nodes": lay.DataNodes,
+		"block_size": lay.BlockSize,
+	})
+}
 
 func httpError(w http.ResponseWriter, err error) {
 	switch {
@@ -195,7 +269,7 @@ func (s *Server) putShell(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) health(w http.ResponseWriter, r *http.Request) {
-	rep, err := s.store.Scrub(false)
+	rep, err := s.store.ScrubCtx(r.Context(), false)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -204,7 +278,7 @@ func (s *Server) health(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) scrub(w http.ResponseWriter, r *http.Request) {
-	rep, err := s.store.Scrub(true)
+	rep, err := s.store.ScrubCtx(r.Context(), true)
 	if err != nil {
 		httpError(w, err)
 		return

@@ -20,6 +20,7 @@ type site struct {
 	store   *archive.Store
 	devices device.Array
 	client  *Client
+	srv     *Server
 	httpSrv *httptest.Server
 }
 
@@ -39,12 +40,14 @@ func newSiteWithGraph(t *testing.T, g *graph.Graph, blockSize int) *site {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(NewServer(store))
+	h := NewServer(store)
+	srv := httptest.NewServer(h)
 	t.Cleanup(srv.Close)
 	return &site{
 		store:   store,
 		devices: devices,
 		client:  NewClient(srv.URL, srv.Client()),
+		srv:     h,
 		httpSrv: srv,
 	}
 }

@@ -3,18 +3,39 @@ package tornado
 import (
 	"net/http"
 
+	"tornado/internal/obs"
 	"tornado/internal/steward"
 )
 
 // Federated stewarding types (paper §5.3 over real HTTP).
 type (
-	// SiteServer serves one archive site's object/block/health API.
+	// SiteServer serves one archive site's object/block/health API, plus
+	// /metrics (JSON request metrics) and /healthz (liveness).
 	SiteServer = steward.Server
-	// SiteClient is the typed client for one site.
+	// SiteClient is the typed client for one site: context-first methods,
+	// per-request deadlines, and bounded retry with jittered backoff.
 	SiteClient = steward.Client
-	// Replicator stewards objects across sites with block exchange.
+	// SiteClientOptions tunes a SiteClient's timeout/retry/metrics.
+	SiteClientOptions = steward.ClientOptions
+	// Replicator stewards objects across sites with block exchange,
+	// per-site health tracking, and graceful degradation around down
+	// sites.
 	Replicator = steward.Replicator
+	// SiteStatus is the replicator's health view of one site.
+	SiteStatus = steward.SiteStatus
+	// StewardReport summarizes one Replicator.StewardPass.
+	StewardReport = steward.StewardReport
+	// Metrics is a named collection of counters, gauges, and latency
+	// histograms (see internal/obs); Metrics.Handler serves it as JSON.
+	Metrics = obs.Registry
+	// MetricsSnapshot is a point-in-time export of a Metrics registry.
+	MetricsSnapshot = obs.Snapshot
 )
+
+// ErrSiteUnavailable marks transport failures and persistent 5xx answers:
+// the site is down or unreachable, as opposed to a definitive reply about
+// an object. Replicators use it to mark sites unhealthy.
+var ErrSiteUnavailable = steward.ErrUnavailable
 
 // NewSiteServer exposes an archive over HTTP (implements http.Handler).
 func NewSiteServer(store *Archive) *SiteServer { return steward.NewServer(store) }
@@ -22,6 +43,12 @@ func NewSiteServer(store *Archive) *SiteServer { return steward.NewServer(store)
 // NewSiteClient connects to a site at baseURL; httpClient may be nil.
 func NewSiteClient(baseURL string, httpClient *http.Client) *SiteClient {
 	return steward.NewClient(baseURL, httpClient)
+}
+
+// NewSiteClientWithOptions connects to a site with explicit timeout,
+// retry, and metrics configuration.
+func NewSiteClientWithOptions(baseURL string, opts SiteClientOptions) *SiteClient {
+	return steward.NewClientWithOptions(baseURL, opts)
 }
 
 // NewReplicator federates two or more sites; their striping must agree

@@ -17,9 +17,25 @@
 //	wc, err := tornado.WorstCase(g, tornado.WorstCaseOptions{MaxK: 5})   // certify
 //	profile, err := tornado.Profile(g, tornado.ProfileOptions{Trials: 100000})
 //	pfail := tornado.SystemFailure(g.Total, 0.01, profile.FailFraction)  // Table 5 row
+//
+// # Context-first API convention
+//
+// Every long-running entry point comes in a pair: Foo(args) and
+// FooCtx(ctx, args). The ctx-first variant honors cancellation and
+// deadlines — worker loops check the context at combination-chunk
+// boundaries, so cancellation returns promptly (with ctx.Err()) instead of
+// finishing a multi-minute search. The short name is a thin
+// backward-compatible wrapper that delegates with context.Background().
+// The pairs are WorstCase/WorstCaseCtx, Profile/ProfileCtx,
+// ClearCardinality/ClearCardinalityCtx, Improve/ImproveCtx,
+// MeasureOverhead/MeasureOverheadCtx, and
+// SimulateLifetime/SimulateLifetimeCtx; steward clients and replicators
+// carry ...Ctx methods the same way. New long-running APIs should follow
+// the same convention.
 package tornado
 
 import (
+	"context"
 	"math/rand/v2"
 
 	"tornado/internal/adjust"
@@ -92,11 +108,24 @@ func WorstCase(g *Graph, opts WorstCaseOptions) (WorstCaseResult, error) {
 	return sim.WorstCase(g, opts)
 }
 
+// WorstCaseCtx is WorstCase with cancellation: search workers observe ctx
+// at combination-chunk boundaries and a canceled search returns ctx.Err()
+// within one chunk of decoding work.
+func WorstCaseCtx(ctx context.Context, g *Graph, opts WorstCaseOptions) (WorstCaseResult, error) {
+	return sim.WorstCaseCtx(ctx, g, opts)
+}
+
 // Profile measures the fraction of failed reconstructions for each number
 // of offline nodes (paper §3), exhaustively where cheap and by Monte Carlo
 // sampling elsewhere.
 func Profile(g *Graph, opts ProfileOptions) (*FailureProfile, error) {
 	return sim.FailureProfile(g, opts)
+}
+
+// ProfileCtx is Profile with cancellation threaded through the enumeration
+// and sampling workers.
+func ProfileCtx(ctx context.Context, g *Graph, opts ProfileOptions) (*FailureProfile, error) {
+	return sim.FailureProfileCtx(ctx, g, opts)
 }
 
 // Recoverable reports whether erasing the given nodes still allows full
@@ -116,11 +145,23 @@ func ClearCardinality(g *Graph, k int, opts AdjustOptions, seed uint64) (*Graph,
 	return adjust.ClearK(g, k, opts, rand.New(rand.NewPCG(seed, 1)))
 }
 
+// ClearCardinalityCtx is ClearCardinality with cancellation between
+// adjustment rounds and inside each exhaustive re-test.
+func ClearCardinalityCtx(ctx context.Context, g *Graph, k int, opts AdjustOptions, seed uint64) (*Graph, AdjustReport, error) {
+	return adjust.ClearKCtx(ctx, g, k, opts, rand.New(rand.NewPCG(seed, 1)))
+}
+
 // Improve repeatedly clears the first failing cardinality up to maxK,
 // raising the graph's first-failure point as far as adjustment allows
 // (paper §3.3: screened graphs typically move from first failure 4 to 5).
 func Improve(g *Graph, maxK int, opts AdjustOptions, seed uint64) (*Graph, []AdjustReport, error) {
 	return adjust.Improve(g, maxK, opts, rand.New(rand.NewPCG(seed, 1)))
+}
+
+// ImproveCtx is Improve with cancellation threaded through every
+// worst-case search and adjustment round.
+func ImproveCtx(ctx context.Context, g *Graph, maxK int, opts AdjustOptions, seed uint64) (*Graph, []AdjustReport, error) {
+	return adjust.ImproveCtx(ctx, g, maxK, opts, rand.New(rand.NewPCG(seed, 1)))
 }
 
 // SystemFailure composes a conditional failure profile with independent
