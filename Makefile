@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check clean
+.PHONY: all build test race vet check smoke clean
 
 all: build
 
@@ -10,15 +10,28 @@ build:
 test:
 	$(GO) test ./...
 
-# The steward federation stack and the simulation workers are the
-# concurrency-heavy packages; run them under the race detector.
+# The steward federation stack, the simulation workers, and the campaign
+# worker pool are the concurrency-heavy packages; run them under the race
+# detector.
 race:
-	$(GO) test -race ./internal/steward/ ./internal/sim/ ./internal/obs/
+	$(GO) test -race ./internal/steward/ ./internal/sim/ ./internal/obs/ ./internal/campaign/
 
 vet:
 	$(GO) vet ./...
 
 check: vet build test race
+
+# smoke runs a small end-to-end campaign under the race detector: fresh
+# run, cache-served rerun, status — the moving parts CI should exercise
+# beyond unit tests.
+SMOKE_DIR := $(shell mktemp -d /tmp/tornado-smoke.XXXXXX)
+smoke:
+	$(GO) run -race ./cmd/campaign run -dir $(SMOKE_DIR)/camp -cache $(SMOKE_DIR)/cache \
+		-kind worstcase -seed 2006 -maxk 3 -quiet
+	$(GO) run -race ./cmd/campaign run -dir $(SMOKE_DIR)/camp2 -cache $(SMOKE_DIR)/cache \
+		-kind worstcase -seed 2006 -maxk 3 -quiet
+	$(GO) run -race ./cmd/campaign status -dir $(SMOKE_DIR)/camp
+	rm -rf $(SMOKE_DIR)
 
 clean:
 	$(GO) clean ./...

@@ -3,6 +3,8 @@ package tornado_test
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"tornado"
 )
@@ -24,6 +26,39 @@ func ExampleGenerate() {
 	// Output:
 	// 96 nodes, 48 data
 	// failure found up to k=2: false
+}
+
+// Running a worst-case search as a durable campaign: progress is
+// journaled per shard (an interrupted run resumes bit-identically), and an
+// unchanged graph is answered from the fingerprint-keyed result cache.
+func ExampleRunCampaign() {
+	g, _, err := tornado.Generate(tornado.DefaultParams(), 2006)
+	if err != nil {
+		panic(err)
+	}
+	work, err := os.MkdirTemp("", "campaign")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(work)
+
+	spec := tornado.CampaignSpec{Kind: tornado.CampaignWorstCase, MaxK: 2}
+	opts := tornado.CampaignOptions{CacheDir: filepath.Join(work, "cache")}
+	res, err := tornado.RunCampaign(filepath.Join(work, "wc"), g, spec, opts)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("failure found up to k=2:", res.WorstCase.Found, "cached:", res.Cached)
+
+	// Same graph, same spec, fresh directory: served from the cache.
+	res, err = tornado.RunCampaign(filepath.Join(work, "wc2"), g, spec, opts)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("failure found up to k=2:", res.WorstCase.Found, "cached:", res.Cached)
+	// Output:
+	// failure found up to k=2: false cached: false
+	// failure found up to k=2: false cached: true
 }
 
 // Encoding and decoding real bytes through a certified shipped graph.

@@ -1,0 +1,168 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// On-disk layout of a campaign directory:
+//
+//	manifest.json  — immutable campaign identity (spec, graph fingerprint,
+//	                 shard totals), written once via atomic rename
+//	graph.graphml  — the graph under test, so Resume needs no other input
+//	journal.jsonl  — one JSON record appended per completed shard
+//	result.json    — final merged result, written via atomic rename when
+//	                 the campaign completes
+const (
+	manifestFile = "manifest.json"
+	graphFile    = "graph.graphml"
+	journalFile  = "journal.jsonl"
+	resultFile   = "result.json"
+)
+
+// manifestVersion guards the on-disk format; Resume rejects manifests from
+// a different version rather than misreading them.
+const manifestVersion = 1
+
+// Manifest is the immutable identity of a campaign directory.
+type Manifest struct {
+	Version     int    `json:"version"`
+	CreatedUnix int64  `json:"created_unix"`
+	GraphName   string `json:"graph_name"`
+	Fingerprint string `json:"fingerprint"` // graph.Fingerprint() of graph.graphml
+	Spec        Spec   `json:"spec"`        // normalized; replanning it reproduces the shard list
+	TotalShards int    `json:"total_shards"`
+	TotalWork   int64  `json:"total_work"` // combinations + trials across all shards
+}
+
+// Record is one journal line: the complete, deterministic result of one
+// shard. Exhaustive shards carry Tested/FailCount/Failures; Monte Carlo
+// shards carry Trials/Hits.
+type Record struct {
+	Shard     int     `json:"shard"`
+	K         int     `json:"k"`
+	Tested    int64   `json:"tested,omitempty"`
+	FailCount int64   `json:"fail_count,omitempty"`
+	Failures  [][]int `json:"failures,omitempty"`
+	Trials    int64   `json:"trials,omitempty"`
+	Hits      int64   `json:"hits,omitempty"`
+}
+
+// writeFileAtomic writes data to path via a temp file, fsync, and rename,
+// so readers never observe a partial manifest or result.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func writeJSONAtomic(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(path, append(data, '\n'))
+}
+
+func readManifest(dir string) (Manifest, error) {
+	var m Manifest
+	data, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return m, fmt.Errorf("campaign: no manifest in %s: %w", dir, err)
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("campaign: corrupt manifest in %s: %w", dir, err)
+	}
+	if m.Version != manifestVersion {
+		return m, fmt.Errorf("campaign: manifest version %d in %s, this build reads %d", m.Version, dir, manifestVersion)
+	}
+	return m, nil
+}
+
+// journalWriter appends shard records to journal.jsonl. Each record is one
+// marshaled line written in a single Write and fsynced — at shard
+// granularity the sync cost is noise, and it makes every acknowledged
+// record crash-durable.
+type journalWriter struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func openJournal(dir string) (*journalWriter, error) {
+	f, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journalWriter{f: f}, nil
+}
+
+func (w *journalWriter) append(rec Record) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *journalWriter) Close() error { return w.f.Close() }
+
+// readJournal loads every decodable record from journal.jsonl, keyed by
+// shard ID. A missing file is an empty journal. Undecodable lines — the
+// partially written tail a crash can leave — are skipped: the affected
+// shard simply reruns, which is always safe because shards are
+// deterministic.
+func readJournal(dir string) (map[int]Record, error) {
+	f, err := os.Open(filepath.Join(dir, journalFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[int]Record{}, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+
+	done := map[int]Record{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			continue // truncated tail from a crash; shard will rerun
+		}
+		done[rec.Shard] = rec
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: reading journal: %w", err)
+	}
+	return done, nil
+}

@@ -196,10 +196,21 @@ func ForEach(n, k int, fn func(idx []int) bool) bool {
 
 // SplitRanges divides the rank space [0, total) into at most parts
 // contiguous half-open ranges of near-equal size for parallel exhaustive
-// searches. Empty ranges are omitted.
+// searches and campaign sharding. The returned ranges exactly tile
+// [0, total) in ascending order with no overlap: sizes differ by at most
+// one, larger ranges come first. Degenerate inputs are handled
+// deterministically — parts < 1 is treated as 1, parts > total yields
+// total single-element ranges, and total <= 0 yields nil (empty ranges are
+// never emitted).
 func SplitRanges(total int64, parts int) [][2]int64 {
+	if total <= 0 {
+		return nil
+	}
 	if parts < 1 {
 		parts = 1
+	}
+	if int64(parts) > total {
+		parts = int(total) // avoids iterating (and skipping) empty chunks
 	}
 	var out [][2]int64
 	chunk := total / int64(parts)

@@ -258,3 +258,81 @@ func TestQuickRankBijective(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSplitRangesDegenerate(t *testing.T) {
+	cases := []struct {
+		total int64
+		parts int
+		want  int // range count
+	}{
+		{total: 0, parts: 1, want: 0},
+		{total: 0, parts: 0, want: 0},
+		{total: -5, parts: 3, want: 0},
+		{total: 7, parts: 0, want: 1},
+		{total: 7, parts: -2, want: 1},
+		{total: 1, parts: 1, want: 1},
+		{total: 1, parts: 100, want: 1},
+		{total: 3, parts: 7, want: 3},
+	}
+	for _, c := range cases {
+		rs := SplitRanges(c.total, c.parts)
+		if len(rs) != c.want {
+			t.Errorf("SplitRanges(%d,%d) = %v, want %d ranges", c.total, c.parts, rs, c.want)
+		}
+	}
+	// parts > total degrades to single-element ranges.
+	for i, r := range SplitRanges(3, 7) {
+		if r[0] != int64(i) || r[1] != int64(i)+1 {
+			t.Errorf("SplitRanges(3,7)[%d] = %v, want [%d,%d)", i, r, i, i+1)
+		}
+	}
+}
+
+// Property: for any (total, parts), the ranges exactly tile [0, total) —
+// contiguous, ascending, non-empty, no overlap — and sizes differ by at
+// most one. Exercised with total = C(n,k) to mirror the exhaustive-search
+// and campaign-sharding call sites.
+func TestQuickSplitRangesTile(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 7))
+		n := 1 + r.IntN(40)
+		k := r.IntN(n + 1)
+		total, ok := BinomialInt64(n, k)
+		if !ok {
+			return true
+		}
+		parts := 1 + r.IntN(64)
+		if total < 64 && r.IntN(8) == 0 {
+			parts = int(total) + 1 + r.IntN(3) // force parts > total
+		}
+		rs := SplitRanges(total, parts)
+		if len(rs) > parts {
+			return false
+		}
+		var prev, minSize, maxSize int64
+		minSize = total + 1
+		for _, rg := range rs {
+			if rg[0] != prev || rg[1] <= rg[0] {
+				return false // gap, overlap, or empty range
+			}
+			size := rg[1] - rg[0]
+			if size < minSize {
+				minSize = size
+			}
+			if size > maxSize {
+				maxSize = size
+			}
+			prev = rg[1]
+		}
+		if prev != total {
+			return false // does not cover the full rank space
+		}
+		if len(rs) > 1 && maxSize-minSize > 1 {
+			return false // near-equal split violated
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

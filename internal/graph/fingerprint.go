@@ -1,0 +1,48 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"slices"
+)
+
+// Fingerprint returns a stable, canonical content hash of the graph: a
+// sha256 over the data node count, the level geometry, and every right
+// node's sorted left-neighbor list. Two graphs share a fingerprint exactly
+// when they encode the same erasure structure — the Name and the in-memory
+// edge insertion order are excluded, so a Clone (or a GraphML round trip)
+// fingerprints identically while any Add/Remove/RewireEdge changes it.
+//
+// The fingerprint is the cache key of the campaign result cache: an
+// unchanged graph re-submitted to a campaign is served from cache, while an
+// adjust.Improve-style rewire invalidates it.
+func (g *Graph) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	word := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	word(int64(g.Data))
+	word(int64(len(g.Levels)))
+	for _, lv := range g.Levels {
+		word(int64(lv.LeftFirst))
+		word(int64(lv.LeftCount))
+		word(int64(lv.RightFirst))
+		word(int64(lv.RightCount))
+	}
+	// Right nodes occupy [Data, Total) in a fixed order; hashing each
+	// sorted neighbor list canonicalizes edge insertion order.
+	sorted := make([]int32, 0, 64)
+	for r := g.Data; r < g.Total; r++ {
+		ls := g.lefts[r]
+		sorted = append(sorted[:0], ls...)
+		slices.Sort(sorted)
+		word(int64(len(sorted)))
+		for _, l := range sorted {
+			word(int64(l))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

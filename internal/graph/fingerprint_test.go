@@ -1,0 +1,91 @@
+package graph
+
+import "testing"
+
+func TestFingerprintCloneInvariant(t *testing.T) {
+	g := tiny(t)
+	fp := g.Fingerprint()
+	if len(fp) != 64 {
+		t.Fatalf("fingerprint length %d, want 64 hex chars", len(fp))
+	}
+	if got := g.Clone().Fingerprint(); got != fp {
+		t.Errorf("clone fingerprint differs: %s vs %s", got, fp)
+	}
+	// The name is presentation, not structure.
+	named := g.Clone()
+	named.Name = "renamed"
+	if got := named.Fingerprint(); got != fp {
+		t.Errorf("rename changed fingerprint")
+	}
+	// Repeated calls are stable.
+	if got := g.Fingerprint(); got != fp {
+		t.Errorf("fingerprint not deterministic")
+	}
+}
+
+func TestFingerprintEdgeOrderInvariant(t *testing.T) {
+	// Same edges inserted in different orders must fingerprint identically.
+	build := func(order []int) *Graph {
+		b := NewBuilder(4)
+		r1 := b.AddLevel(0, 4, 1)
+		g := b.Graph()
+		for _, l := range order {
+			g.AddEdge(r1, l)
+		}
+		return g
+	}
+	a := build([]int{0, 1, 2, 3})
+	b := build([]int{3, 1, 0, 2})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("edge insertion order changed fingerprint")
+	}
+}
+
+func TestFingerprintRewireSensitive(t *testing.T) {
+	g := tiny(t)
+	fp := g.Fingerprint()
+
+	rewired := g.Clone()
+	// Move data node 1 from check 4 to check 5 — the adjustment primitive.
+	rewired.RewireEdge(1, 4, 5)
+	if rewired.Fingerprint() == fp {
+		t.Errorf("rewire did not change fingerprint")
+	}
+	// Rewiring back restores the original structure and hash.
+	rewired.RewireEdge(1, 5, 4)
+	if rewired.Fingerprint() != fp {
+		t.Errorf("inverse rewire did not restore fingerprint")
+	}
+
+	added := g.Clone()
+	added.AddEdge(4, 2)
+	if added.Fingerprint() == fp {
+		t.Errorf("added edge did not change fingerprint")
+	}
+}
+
+func TestFingerprintLevelGeometrySensitive(t *testing.T) {
+	// Identical edge sets under different level geometry must differ: one
+	// level of two checks vs two levels of one check each over the same
+	// left range.
+	one := func() *Graph {
+		b := NewBuilder(2)
+		r := b.AddLevel(0, 2, 2)
+		g := b.Graph()
+		g.SetNeighbors(r, []int{0})
+		g.SetNeighbors(r+1, []int{1})
+		return g
+	}()
+	two := func() *Graph {
+		b := NewBuilder(2)
+		r1 := b.AddLevel(0, 2, 1)
+		r2 := b.AddLevel(0, 2, 1)
+		g := b.Graph()
+		g.SetNeighbors(r1, []int{0})
+		g.SetNeighbors(r2, []int{1})
+		return g
+	}()
+	if one.Fingerprint() == two.Fingerprint() {
+		t.Errorf("different level geometry produced equal fingerprints")
+	}
+}

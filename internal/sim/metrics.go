@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"sync/atomic"
+
+	"tornado/internal/obs"
+)
+
+// Metric names published by the simulation workers. Counters are flushed at
+// combination-chunk boundaries (every cancelCheckInterval iterations), so a
+// multi-hour exhaustive search or Monte Carlo profile is observable while it
+// runs — scrape Metrics().Snapshot() or mount Metrics().Handler().
+const (
+	// MetricCombinationsTested counts erasure combinations examined by the
+	// exhaustive worst-case scans.
+	MetricCombinationsTested = "sim_combinations_tested"
+	// MetricFailuresFound counts combinations that lost data during
+	// exhaustive scans.
+	MetricFailuresFound = "sim_failures_found"
+	// MetricMCTrials counts Monte Carlo reconstruction trials drawn.
+	MetricMCTrials = "sim_mc_trials"
+	// MetricMCFailures counts Monte Carlo trials that lost data.
+	MetricMCFailures = "sim_mc_failures"
+)
+
+// metricsReg holds the registry the workers publish to. A package-level
+// default (rather than an option threaded through every call) keeps the
+// hot-path signatures unchanged and gives CLIs one switch to flip.
+var metricsReg atomic.Pointer[obs.Registry]
+
+func init() { metricsReg.Store(obs.NewRegistry()) }
+
+// Metrics returns the registry the simulation workers publish progress
+// counters to.
+func Metrics() *obs.Registry { return metricsReg.Load() }
+
+// SetMetrics redirects the simulation progress counters to reg (e.g. a
+// registry already exported over HTTP). A nil reg is ignored.
+func SetMetrics(reg *obs.Registry) {
+	if reg != nil {
+		metricsReg.Store(reg)
+	}
+}

@@ -94,7 +94,7 @@ func FailureProfileCtx(ctx context.Context, g *graph.Graph, opts ProfileOptions)
 }
 
 // sampleK estimates the failure fraction for exactly k offline nodes by
-// uniform random sampling, fanned out over workers.
+// uniform random sampling, fanned out over workers (one RNG stream each).
 func sampleK(ctx context.Context, g *graph.Graph, k int, opts ProfileOptions) (stats.Proportion, error) {
 	if k < 1 || k > g.Total {
 		return stats.Proportion{}, fmt.Errorf("sim: cardinality %d out of range for %d nodes", k, g.Total)
@@ -114,32 +114,63 @@ func sampleK(ctx context.Context, g *graph.Graph, k int, opts ProfileOptions) (s
 			continue
 		}
 		wg.Add(1)
-		go func(worker int, trials int64) {
+		go func(worker uint64, trials int64) {
 			defer wg.Done()
-			rng := rand.New(rand.NewPCG(opts.Seed, uint64(k)<<32|uint64(worker)))
-			d := decode.New(g)
-			idx := make([]int, k)
-			scratch := make(map[int]bool, k)
-			var hits int64
-			for i := int64(0); i < trials; i++ {
-				if i%cancelCheckInterval == 0 && ctx.Err() != nil {
-					return
-				}
-				combin.RandomSubset(idx, g.Total, rng, scratch)
-				if idx[0] < g.Data && !d.Recoverable(idx) {
-					hits++
-				}
+			prop, err := SampleStreamCtx(ctx, g, k, trials, opts.Seed, worker)
+			if err != nil {
+				return // ctx canceled; surfaced after wg.Wait
 			}
 			mu.Lock()
-			agg.Add(hits, trials)
+			agg.Add(prop.Hits, prop.Trials)
 			mu.Unlock()
-		}(w, n)
+		}(uint64(w), n)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return stats.Proportion{}, err
 	}
 	return agg, nil
+}
+
+// SampleStreamCtx draws trials uniformly random k-subsets from the
+// deterministic RNG stream identified by (seed, k, stream) and tallies the
+// unrecoverable ones. It is the unit of work of both a FailureProfileCtx
+// worker (stream = worker index) and a Monte Carlo campaign shard (stream =
+// shard index): fixed arguments always reproduce the same tally, so a
+// resumed campaign is bit-identical to an uninterrupted one. Cancellation
+// is honored at combination-chunk boundaries, and progress counters are
+// flushed to Metrics() at the same cadence.
+func SampleStreamCtx(ctx context.Context, g *graph.Graph, k int, trials int64, seed, stream uint64) (stats.Proportion, error) {
+	if k < 1 || k > g.Total {
+		return stats.Proportion{}, fmt.Errorf("sim: cardinality %d out of range for %d nodes", k, g.Total)
+	}
+	reg := Metrics()
+	mcTrials := reg.Counter(MetricMCTrials)
+	mcFails := reg.Counter(MetricMCFailures)
+
+	rng := rand.New(rand.NewPCG(seed, uint64(k)<<32|stream))
+	d := decode.New(g)
+	idx := make([]int, k)
+	scratch := make(map[int]bool, k)
+	var hits int64
+	var lastFlushTrials, lastFlushHits int64
+	for i := int64(0); i < trials; i++ {
+		if i%cancelCheckInterval == 0 {
+			if ctx.Err() != nil {
+				return stats.Proportion{}, ctx.Err()
+			}
+			mcTrials.Add(i - lastFlushTrials)
+			mcFails.Add(hits - lastFlushHits)
+			lastFlushTrials, lastFlushHits = i, hits
+		}
+		combin.RandomSubset(idx, g.Total, rng, scratch)
+		if idx[0] < g.Data && !d.Recoverable(idx) {
+			hits++
+		}
+	}
+	mcTrials.Add(trials - lastFlushTrials)
+	mcFails.Add(hits - lastFlushHits)
+	return stats.Proportion{Hits: hits, Trials: trials}, nil
 }
 
 // FailFraction returns the measured failure fraction with exactly k nodes

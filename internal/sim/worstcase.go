@@ -65,6 +65,17 @@ type WorstCaseResult struct {
 	Tested       int64     // total combinations examined
 }
 
+// FailureCountAt returns the exact failure count recorded for cardinality
+// k, or 0 when k was not examined.
+func (r WorstCaseResult) FailureCountAt(k int) int64 {
+	for _, kr := range r.PerK {
+		if kr.K == k {
+			return kr.FailureCount
+		}
+	}
+	return 0
+}
+
 // WorstCase exhaustively searches erasure combinations of increasing
 // cardinality for the graph's worst-case failure scenario (paper §3:
 // "(96 choose 1 lost block) through (96 choose 6)").
@@ -127,30 +138,13 @@ func ExhaustiveKCtx(ctx context.Context, g *graph.Graph, k, maxFailures, workers
 		wg.Add(1)
 		go func(lo, hi int64) {
 			defer wg.Done()
-			d := decode.New(g)
-			idx := make([]int, k)
-			combin.Unrank(idx, g.Total, lo)
-			var localCount int64
-			var localFails [][]int
-			for r := lo; r < hi; r++ {
-				if (r-lo)%cancelCheckInterval == 0 && ctx.Err() != nil {
-					return
-				}
-				// A combination touching no data node cannot lose data;
-				// idx is sorted, so idx[0] >= Data means all-check.
-				if idx[0] < g.Data && !d.Recoverable(idx) {
-					localCount++
-					if len(localFails) < maxFailures {
-						localFails = append(localFails, slices.Clone(idx))
-					}
-				}
-				if r+1 < hi {
-					combin.Next(idx, g.Total)
-				}
+			rr, err := ScanRangeCtx(ctx, g, k, lo, hi, maxFailures)
+			if err != nil {
+				return // ctx canceled; surfaced after wg.Wait
 			}
 			mu.Lock()
-			count += localCount
-			for _, f := range localFails {
+			count += rr.FailureCount
+			for _, f := range rr.Failures {
 				if len(failures) < maxFailures {
 					failures = append(failures, f)
 				}
@@ -165,4 +159,69 @@ func ExhaustiveKCtx(ctx context.Context, g *graph.Graph, k, maxFailures, workers
 
 	slices.SortFunc(failures, slices.Compare)
 	return KResult{K: k, Tested: total, FailureCount: count, Failures: failures}, nil
+}
+
+// RangeResult reports an exhaustive scan of one contiguous rank range — the
+// unit of work of both an ExhaustiveKCtx worker and a campaign shard.
+type RangeResult struct {
+	Tested       int64   // combinations examined (= hi - lo)
+	FailureCount int64   // combinations that lost data
+	Failures     [][]int // up to maxFailures failing sets, in rank (lexicographic) order
+}
+
+// ScanRangeCtx examines every erasure combination of cardinality k whose
+// lexicographic rank lies in [lo, hi), single-threaded, recording up to
+// maxFailures failing sets in rank order. It is deterministic in its
+// arguments, which is what makes campaign shards resumable: re-scanning the
+// same range always reproduces the same result. Cancellation is honored at
+// combination-chunk boundaries, and progress counters are flushed to
+// Metrics() at the same cadence.
+func ScanRangeCtx(ctx context.Context, g *graph.Graph, k int, lo, hi int64, maxFailures int) (RangeResult, error) {
+	if k < 1 || k > g.Total {
+		return RangeResult{}, fmt.Errorf("sim: cardinality %d out of range for %d nodes", k, g.Total)
+	}
+	total, ok := combin.BinomialInt64(g.Total, k)
+	if !ok {
+		return RangeResult{}, fmt.Errorf("sim: C(%d,%d) overflows the rank space", g.Total, k)
+	}
+	if lo < 0 || hi > total || lo > hi {
+		return RangeResult{}, fmt.Errorf("sim: rank range [%d,%d) outside [0,%d)", lo, hi, total)
+	}
+	if lo == hi {
+		return RangeResult{}, nil
+	}
+	reg := Metrics()
+	tested := reg.Counter(MetricCombinationsTested)
+	found := reg.Counter(MetricFailuresFound)
+
+	d := decode.New(g)
+	idx := make([]int, k)
+	combin.Unrank(idx, g.Total, lo)
+	var res RangeResult
+	var lastFlushTested, lastFlushFails int64
+	for r := lo; r < hi; r++ {
+		if (r-lo)%cancelCheckInterval == 0 {
+			if ctx.Err() != nil {
+				return RangeResult{}, ctx.Err()
+			}
+			tested.Add(res.Tested - lastFlushTested)
+			found.Add(res.FailureCount - lastFlushFails)
+			lastFlushTested, lastFlushFails = res.Tested, res.FailureCount
+		}
+		res.Tested++
+		// A combination touching no data node cannot lose data; idx is
+		// sorted, so idx[0] >= Data means all-check.
+		if idx[0] < g.Data && !d.Recoverable(idx) {
+			res.FailureCount++
+			if len(res.Failures) < maxFailures {
+				res.Failures = append(res.Failures, slices.Clone(idx))
+			}
+		}
+		if r+1 < hi {
+			combin.Next(idx, g.Total)
+		}
+	}
+	tested.Add(res.Tested - lastFlushTested)
+	found.Add(res.FailureCount - lastFlushFails)
+	return res, nil
 }

@@ -39,6 +39,7 @@ import (
 	"math/rand/v2"
 
 	"tornado/internal/adjust"
+	"tornado/internal/campaign"
 	"tornado/internal/core"
 	"tornado/internal/decode"
 	"tornado/internal/defect"
@@ -185,3 +186,56 @@ func SaveGraphML(path string, g *Graph) error { return graphml.WriteFile(path, g
 
 // LoadGraphML reads a GraphML graph from path.
 func LoadGraphML(path string) (*Graph, error) { return graphml.ReadFile(path) }
+
+// Campaign types: durable, resumable experiment campaigns with sharded
+// checkpointing and a fingerprint-keyed result cache (internal/campaign).
+type (
+	// CampaignSpec describes a campaign workload (kind + search options).
+	CampaignSpec = campaign.Spec
+	// CampaignOptions tunes campaign execution without affecting results.
+	CampaignOptions = campaign.Options
+	// CampaignResult is a campaign outcome (worst-case search or profile).
+	CampaignResult = campaign.Result
+	// CampaignStatus is a progress snapshot of a campaign directory.
+	CampaignStatus = campaign.Status
+	// CampaignKind selects the campaign workload.
+	CampaignKind = campaign.Kind
+)
+
+// Campaign workload kinds.
+const (
+	CampaignWorstCase = campaign.KindWorstCase
+	CampaignProfile   = campaign.KindProfile
+)
+
+// RunCampaign starts a fresh campaign in dir and executes it to
+// completion, journaling every completed shard so an interrupted run can
+// be resumed. Results for unchanged graphs are served from the
+// opts.CacheDir result cache when set.
+func RunCampaign(dir string, g *Graph, spec CampaignSpec, opts CampaignOptions) (*CampaignResult, error) {
+	return campaign.Run(dir, g, spec, opts)
+}
+
+// RunCampaignCtx is RunCampaign with cancellation: completed shards stay
+// journaled and ResumeCampaignCtx continues from them.
+func RunCampaignCtx(ctx context.Context, dir string, g *Graph, spec CampaignSpec, opts CampaignOptions) (*CampaignResult, error) {
+	return campaign.RunCtx(ctx, dir, g, spec, opts)
+}
+
+// ResumeCampaign continues an interrupted campaign to completion, skipping
+// journaled shards; the merged result is bit-identical to an uninterrupted
+// run.
+func ResumeCampaign(dir string, opts CampaignOptions) (*CampaignResult, error) {
+	return campaign.Resume(dir, opts)
+}
+
+// ResumeCampaignCtx is ResumeCampaign with cancellation.
+func ResumeCampaignCtx(ctx context.Context, dir string, opts CampaignOptions) (*CampaignResult, error) {
+	return campaign.ResumeCtx(ctx, dir, opts)
+}
+
+// CampaignProgress reports the progress of the campaign in dir without
+// running anything.
+func CampaignProgress(dir string) (CampaignStatus, error) {
+	return campaign.ReadStatus(dir)
+}
