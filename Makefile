@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check smoke clean
+.PHONY: all build test race vet fuzz check smoke clean
 
 all: build
 
@@ -19,7 +19,13 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: vet build test race
+# fuzz gives the frame codec a short randomized shake on every check; longer
+# sessions: make fuzz FUZZTIME=10m
+FUZZTIME ?= 3s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzFrameRoundTrip -fuzztime $(FUZZTIME) ./internal/archive/
+
+check: vet build test race fuzz
 
 # smoke runs a small end-to-end campaign under the race detector: fresh
 # run, cache-served rerun, status — the moving parts CI should exercise

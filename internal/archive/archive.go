@@ -7,17 +7,26 @@
 // mechanism to proactively monitor the status of distributed encoded
 // stripes and reconstruct missing blocks before a stripe approaches the
 // initial failure point".
+//
+// The data path is self-healing: transient backend errors are retried with
+// bounded backoff, blocks reconstructed during a Get are written back to
+// their home nodes (read-repair), and nodes that repeatedly serve corrupt
+// frames are quarantined — excluded from retrieval planning and surfaced in
+// scrub reports until an operator replaces the device and clears them.
 package archive
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"tornado/internal/codec"
 	"tornado/internal/device"
 	"tornado/internal/graph"
+	"tornado/internal/obs"
 	"tornado/internal/retrieval"
 )
 
@@ -27,6 +36,17 @@ var (
 	ErrExists   = errors.New("archive: object already exists")
 	// ErrDataLoss wraps codec.ErrUnrecoverable with object context.
 	ErrDataLoss = errors.New("archive: object unrecoverable")
+	// ErrDegraded is returned by Put when more block writes failed than
+	// Config.MaxPutFailures tolerates: the object would be born below its
+	// durability floor, so the write is refused and rolled back instead of
+	// silently storing a stripe that is already near its failure point.
+	ErrDegraded = errors.New("archive: store too degraded to write")
+	// ErrTransient marks a backend fault that may succeed on retry (an
+	// injected chaos fault, a flapping network path). Backends wrap
+	// transient errors with it; the store's bounded retry only re-attempts
+	// errors matching it — a permanently failed device is treated as a
+	// missing block immediately.
+	ErrTransient = errors.New("archive: transient backend error")
 )
 
 // Object describes a stored object.
@@ -42,6 +62,8 @@ type GetStats struct {
 	BlocksRead      int
 	BlocksRepaired  int // blocks reconstructed rather than read
 	CorruptBlocks   int // blocks failing their checksum (treated as erased)
+	ReadRepairs     int // reconstructed blocks written back to their home node
+	Retries         int // transient backend errors retried
 }
 
 // Config tunes a Store.
@@ -55,6 +77,31 @@ type Config struct {
 	// NaiveRetrieval disables the guided minimal-block retrieval plan
 	// (§5.2/§6 optimization) and reads every reachable block on Get.
 	NaiveRetrieval bool
+	// Retries is how many extra attempts a transient backend error
+	// (ErrTransient) earns before the block is treated as missing.
+	// 0 means the default (2); negative disables retry.
+	Retries int
+	// RetryBackoff is the sleep before the first retry, doubling on each
+	// further attempt. Zero means no sleep (in-memory backends, tests).
+	RetryBackoff time.Duration
+	// QuarantineThreshold is how many corrupt frames one node may serve
+	// before the store quarantines it: Get planning and read-repair stop
+	// relying on it. Scrub still reads and repairs it, and readmits it
+	// after a pass in which it served only verified frames (ClearQuarantine
+	// readmits immediately). 0 means the default (3); negative disables
+	// quarantine.
+	QuarantineThreshold int
+	// DisableReadRepair turns off the write-back of blocks reconstructed
+	// during Get; repair then happens only in Scrub.
+	DisableReadRepair bool
+	// MaxPutFailures is how many failed block writes Put tolerates per
+	// stripe before refusing the object with ErrDegraded and rolling back
+	// what it wrote. 0 means unlimited (parity and scrub absorb every
+	// failure — the seed behaviour); negative refuses on any failure.
+	MaxPutFailures int
+	// Metrics receives the store's self-healing and scrub counters. Nil
+	// gets a private registry (still readable via Store.Metrics).
+	Metrics *obs.Registry
 }
 
 // Store is the archival object store. It is safe for concurrent use.
@@ -67,6 +114,28 @@ type Store struct {
 
 	mu      sync.Mutex
 	objects map[string]*Object
+
+	// Quarantine bookkeeping: per-node corrupt-frame counts and the
+	// quarantined flag, guarded separately from the object map so scrub
+	// detection never contends with metadata lookups.
+	healMu       sync.Mutex
+	corruptCount []int
+	quarantined  []bool
+
+	metrics *obs.Registry
+	// Cached metric handles (get-or-create takes the registry mutex; the
+	// read path should not).
+	mCorruptDetected *obs.Counter
+	mReadRetries     *obs.Counter
+	mWriteRetries    *obs.Counter
+	mReadRepairs     *obs.Counter
+	mQuarEvents      *obs.Counter
+	mQuarReadmits    *obs.Counter
+	gQuarNodes       *obs.Gauge
+	mScrubPasses     *obs.Counter
+	mScrubRepaired   *obs.Counter
+	mScrubCorrupt    *obs.Counter
+	mScrubUnrecov    *obs.Counter
 }
 
 // New builds a store over one always-on device per graph node.
@@ -83,7 +152,7 @@ func New(g *graph.Graph, devices device.Array, cfg Config) (*Store, error) {
 }
 
 // NewWithBackend builds a store over an arbitrary Backend (e.g. a MAID
-// shelf).
+// shelf, or a chaos-injecting wrapper around either).
 func NewWithBackend(g *graph.Graph, backend Backend, cfg Config) (*Store, error) {
 	if backend.Nodes() != g.Total {
 		return nil, fmt.Errorf("archive: %d devices for a %d-node graph", backend.Nodes(), g.Total)
@@ -95,13 +164,32 @@ func NewWithBackend(g *graph.Graph, backend Backend, cfg Config) (*Store, error)
 	if err != nil {
 		return nil, err
 	}
-	return &Store{
-		g:       g,
-		codec:   c,
-		backend: backend,
-		cfg:     cfg,
-		objects: map[string]*Object{},
-	}, nil
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Store{
+		g:            g,
+		codec:        c,
+		backend:      backend,
+		cfg:          cfg,
+		objects:      map[string]*Object{},
+		corruptCount: make([]int, g.Total),
+		quarantined:  make([]bool, g.Total),
+		metrics:      reg,
+	}
+	s.mCorruptDetected = reg.Counter("archive.detected.corrupt_frames")
+	s.mReadRetries = reg.Counter("archive.read.retries")
+	s.mWriteRetries = reg.Counter("archive.write.retries")
+	s.mReadRepairs = reg.Counter("archive.read_repair.blocks")
+	s.mQuarEvents = reg.Counter("archive.quarantine.events")
+	s.mQuarReadmits = reg.Counter("archive.quarantine.readmitted")
+	s.gQuarNodes = reg.Gauge("archive.quarantine.nodes")
+	s.mScrubPasses = reg.Counter("archive.scrub.passes")
+	s.mScrubRepaired = reg.Counter("archive.scrub.blocks_repaired")
+	s.mScrubCorrupt = reg.Counter("archive.scrub.corrupt_frames")
+	s.mScrubUnrecov = reg.Counter("archive.scrub.unrecoverable_stripes")
+	return s, nil
 }
 
 // Graph returns the store's erasure graph.
@@ -110,6 +198,227 @@ func (s *Store) Graph() *graph.Graph { return s.g }
 // Devices returns the store's device array when it was built with New, or
 // nil for custom backends.
 func (s *Store) Devices() device.Array { return s.devices }
+
+// Metrics returns the store's metric registry: self-healing counters
+// (archive.detected.corrupt_frames, archive.read_repair.blocks,
+// archive.read.retries, archive.quarantine.*) and scrub outcomes
+// (archive.scrub.*).
+func (s *Store) Metrics() *obs.Registry { return s.metrics }
+
+// retries resolves the transient-retry budget: Config.Retries, defaulting
+// to 2 extra attempts, with negative meaning none.
+func (s *Store) retries() int {
+	switch {
+	case s.cfg.Retries < 0:
+		return 0
+	case s.cfg.Retries == 0:
+		return 2
+	default:
+		return s.cfg.Retries
+	}
+}
+
+// putFailureLimit resolves Config.MaxPutFailures: -1 means unlimited
+// (the zero-value default), otherwise the per-stripe tolerance.
+func (s *Store) putFailureLimit() int {
+	switch {
+	case s.cfg.MaxPutFailures < 0:
+		return 0
+	case s.cfg.MaxPutFailures == 0:
+		return -1 // unlimited
+	default:
+		return s.cfg.MaxPutFailures
+	}
+}
+
+// discardBlocks best-effort deletes the first `stripes` stripes of an
+// object — the rollback half of a refused Put. Going through the backend
+// (not just the metadata map) matters: a torn write may have silently
+// persisted a corrupt prefix that no scrub would ever visit again.
+func (s *Store) discardBlocks(name string, stripes int) {
+	for st := 0; st < stripes; st++ {
+		for node := 0; node < s.g.Total; node++ {
+			_ = s.backend.Delete(node, blockKey(name, st, node))
+		}
+	}
+}
+
+// quarantineThreshold resolves Config.QuarantineThreshold: default 3,
+// negative disables.
+func (s *Store) quarantineThreshold() int {
+	switch {
+	case s.cfg.QuarantineThreshold < 0:
+		return 0 // disabled
+	case s.cfg.QuarantineThreshold == 0:
+		return 3
+	default:
+		return s.cfg.QuarantineThreshold
+	}
+}
+
+// isQuarantined reports whether node is excluded from the data path.
+func (s *Store) isQuarantined(node int) bool {
+	s.healMu.Lock()
+	defer s.healMu.Unlock()
+	return s.quarantined[node]
+}
+
+// Quarantined returns the currently quarantined nodes in ascending order.
+func (s *Store) Quarantined() []int {
+	s.healMu.Lock()
+	defer s.healMu.Unlock()
+	var out []int
+	for node, q := range s.quarantined {
+		if q {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// ClearQuarantine readmits a node to the data path and resets its corruption
+// count — the operator action after replacing or vetting the device. The
+// next repair scrub repopulates its blocks.
+func (s *Store) ClearQuarantine(node int) {
+	if node < 0 || node >= s.g.Total {
+		return
+	}
+	s.healMu.Lock()
+	s.corruptCount[node] = 0
+	if s.quarantined[node] {
+		s.quarantined[node] = false
+	}
+	n := 0
+	for _, q := range s.quarantined {
+		if q {
+			n++
+		}
+	}
+	s.healMu.Unlock()
+	s.gQuarNodes.Set(int64(n))
+}
+
+// noteCorrupt records one detected corrupt frame from node: it feeds the
+// detection counter (the chaos soak asserts detected == injected against
+// it) and the per-node quarantine bookkeeping.
+func (s *Store) noteCorrupt(node int) {
+	s.mCorruptDetected.Inc()
+	thr := s.quarantineThreshold()
+	if thr == 0 {
+		return
+	}
+	s.healMu.Lock()
+	s.corruptCount[node]++
+	newlyQuarantined := !s.quarantined[node] && s.corruptCount[node] >= thr
+	if newlyQuarantined {
+		s.quarantined[node] = true
+	}
+	n := 0
+	for _, q := range s.quarantined {
+		if q {
+			n++
+		}
+	}
+	s.healMu.Unlock()
+	if newlyQuarantined {
+		s.mQuarEvents.Inc()
+		s.gQuarNodes.Set(int64(n))
+	}
+}
+
+// scrubPass accumulates one scrub pass's per-node evidence: how many frames
+// the node served that verified, and how many failed their checksum.
+type scrubPass struct {
+	clean   []int
+	corrupt []int
+}
+
+// noteScrubPass applies a completed scrub pass's verdict to the quarantine
+// bookkeeping. A node that served at least one verified frame and zero
+// corrupt ones over the whole pass has proven itself healthy: its corruption
+// count resets and, if it was quarantined, it is readmitted to the data
+// path. Nodes that served corrupt frames — or nothing at all (failed or
+// unreachable devices earn no credit) — keep their record.
+func (s *Store) noteScrubPass(pass scrubPass) {
+	readmitted := 0
+	s.healMu.Lock()
+	for node := range s.corruptCount {
+		if pass.corrupt[node] > 0 || pass.clean[node] == 0 {
+			continue
+		}
+		s.corruptCount[node] = 0
+		if s.quarantined[node] {
+			s.quarantined[node] = false
+			readmitted++
+		}
+	}
+	n := 0
+	for _, q := range s.quarantined {
+		if q {
+			n++
+		}
+	}
+	s.healMu.Unlock()
+	if readmitted > 0 {
+		s.mQuarReadmits.Add(int64(readmitted))
+	}
+	s.gQuarNodes.Set(int64(n))
+}
+
+// readFramed reads a framed block, retrying transient backend errors with
+// bounded exponential backoff. Any other error (failed device, missing
+// block) returns immediately — the caller treats the block as an erasure.
+func (s *Store) readFramed(node int, key string, stats *GetStats) ([]byte, error) {
+	backoff := s.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		framed, err := s.backend.Read(node, key)
+		if err == nil || !errors.Is(err, ErrTransient) {
+			return framed, err
+		}
+		if attempt >= s.retries() {
+			return nil, err
+		}
+		s.mReadRetries.Inc()
+		if stats != nil {
+			stats.Retries++
+		}
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+}
+
+// writeFramed frames and writes a payload, retrying transient errors with
+// the same bounded backoff as reads. frameBlock copies the payload, so
+// callers may pass buffers that alias read frames (see unframeBlock).
+func (s *Store) writeFramed(node int, key string, payload []byte) error {
+	framed := frameBlock(payload)
+	backoff := s.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		err := s.backend.Write(node, key, framed)
+		if err == nil || !errors.Is(err, ErrTransient) {
+			return err
+		}
+		if attempt >= s.retries() {
+			return err
+		}
+		s.mWriteRetries.Inc()
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+}
+
+// planCost prices node reads for retrieval planning, forbidding quarantined
+// nodes (their data cannot be trusted even when the device answers).
+func (s *Store) planCost(node int) float64 {
+	if s.isQuarantined(node) {
+		return math.Inf(1)
+	}
+	return s.backend.Cost(node)
+}
 
 func blockKey(name string, stripe, node int) string {
 	return fmt.Sprintf("%s/%d/%d", name, stripe, node)
@@ -143,11 +452,20 @@ func (s *Store) Put(name string, data []byte) error {
 			s.deleteObject(name)
 			return err
 		}
+		failed := 0
 		for node, b := range blocks {
 			// Unavailable devices lose their block; the stripe's parity
 			// absorbs it. Blocks are stored framed with a CRC-32C so bit
-			// rot is detected on read.
-			_ = s.backend.Write(node, blockKey(name, st, node), frameBlock(b))
+			// rot is detected on read; transient write faults are retried.
+			if err := s.writeFramed(node, blockKey(name, st, node), b); err != nil {
+				failed++
+			}
+		}
+		if lim := s.putFailureLimit(); lim >= 0 && failed > lim {
+			s.discardBlocks(name, st+1)
+			s.deleteObject(name)
+			return fmt.Errorf("%w: %q stripe %d lost %d of %d block writes",
+				ErrDegraded, name, st, failed, len(blocks))
 		}
 	}
 	s.mu.Lock()
@@ -192,12 +510,12 @@ func (s *Store) Get(name string) ([]byte, GetStats, error) {
 func (s *Store) getStripe(name string, st, payloadLen int, touched map[int]bool, stats *GetStats) ([]byte, error) {
 	avail := make([]bool, s.g.Total)
 	for node := range avail {
-		avail[node] = s.backend.Available(node, blockKey(name, st, node))
+		avail[node] = !s.isQuarantined(node) && s.backend.Available(node, blockKey(name, st, node))
 	}
 
 	var toRead []int
 	if !s.cfg.NaiveRetrieval {
-		plan, _, err := retrieval.Plan(s.g, avail, s.backend.Cost)
+		plan, _, err := retrieval.Plan(s.g, avail, s.planCost)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %q stripe %d: %v", ErrDataLoss, name, st, err)
 		}
@@ -211,36 +529,38 @@ func (s *Store) getStripe(name string, st, payloadLen int, touched map[int]bool,
 	}
 
 	blocks := make([][]byte, s.g.Total)
-	for _, node := range toRead {
-		framed, err := s.backend.Read(node, blockKey(name, st, node))
+	// corrupt marks frames that failed their checksum during this read, so
+	// the fallback pass never re-reads (and never double-counts) them.
+	corrupt := make([]bool, s.g.Total)
+	readInto := func(node int) {
+		framed, err := s.readFramed(node, blockKey(name, st, node), stats)
 		if err != nil {
-			continue // raced with a failure; the decoder will cope or report
+			return // raced with a failure; the decoder will cope or report
 		}
 		touched[node] = true
 		stats.BlocksRead++
+		// unframeBlock's payload aliases framed; the alias lives only in
+		// blocks[node], which is read (never mutated) by the codec and
+		// copied by frameBlock before any write-back.
 		b, ok := unframeBlock(framed)
 		if !ok {
 			stats.CorruptBlocks++ // bit rot: treat as an erasure
-			continue
+			corrupt[node] = true
+			s.noteCorrupt(node)
+			return
 		}
 		blocks[node] = b
 	}
+	for _, node := range toRead {
+		readInto(node)
+	}
 	payload, err := s.codec.Decode(blocks, payloadLen)
 	if errors.Is(err, codec.ErrUnrecoverable) && !s.cfg.NaiveRetrieval {
-		// The plan raced with failures; fall back to everything reachable.
+		// The plan raced with failures; fall back to everything reachable
+		// that has not already been read or detected corrupt.
 		for node, ok := range avail {
-			if ok && blocks[node] == nil {
-				framed, rerr := s.backend.Read(node, blockKey(name, st, node))
-				if rerr != nil {
-					continue
-				}
-				touched[node] = true
-				stats.BlocksRead++
-				if b, fok := unframeBlock(framed); fok {
-					blocks[node] = b
-				} else {
-					stats.CorruptBlocks++
-				}
+			if ok && blocks[node] == nil && !corrupt[node] {
+				readInto(node)
 			}
 		}
 		payload, err = s.codec.Decode(blocks, payloadLen)
@@ -253,7 +573,36 @@ func (s *Store) getStripe(name string, st, payloadLen int, touched map[int]bool,
 			stats.BlocksRepaired++
 		}
 	}
+	if !s.cfg.DisableReadRepair {
+		s.readRepairStripe(name, st, blocks, avail, corrupt, stats)
+	}
 	return payload, nil
+}
+
+// readRepairStripe writes blocks reconstructed during a read back to their
+// home nodes, so a Get heals the damage it discovers instead of deferring
+// to the next scrub: a corrupt frame is overwritten in place, and a node
+// that lost its block (e.g. a replaced blank drive) is repopulated.
+// Codec.Decode repaired blocks in place, so every recoverable block is
+// present. Unreachable and quarantined nodes are skipped; write errors are
+// ignored (the next scrub retries).
+func (s *Store) readRepairStripe(name string, st int, blocks [][]byte, avail, corrupt []bool, stats *GetStats) {
+	for node := range blocks {
+		if blocks[node] == nil || (avail[node] && !corrupt[node]) {
+			continue // nothing reconstructed, or the stored frame is fine
+		}
+		if s.isQuarantined(node) || math.IsInf(s.backend.Cost(node), 1) {
+			continue
+		}
+		// writeFramed copies blocks[node] (which may alias a read frame)
+		// into a fresh framed buffer before the backend sees it.
+		if err := s.writeFramed(node, blockKey(name, st, node), blocks[node]); err == nil {
+			s.mReadRepairs.Inc()
+			if stats != nil {
+				stats.ReadRepairs++
+			}
+		}
+	}
 }
 
 // Delete removes an object and its blocks from all reachable devices.

@@ -7,7 +7,13 @@ import (
 )
 
 // Backend abstracts the block storage under the archive: a plain device
-// array, or a power-managed MAID shelf that spins drives up on demand.
+// array, a power-managed MAID shelf that spins drives up on demand, or a
+// fault-injecting wrapper over either (tornado/internal/chaos).
+//
+// Error semantics: a backend that can fail transiently (network blip,
+// injected fault) wraps those errors with ErrTransient; the store retries
+// them with bounded backoff. Any other error is treated as a missing
+// block, to be reconstructed from parity.
 type Backend interface {
 	// Nodes returns the device count (one per graph node).
 	Nodes() int
@@ -15,9 +21,13 @@ type Backend interface {
 	// all, possibly after a spin-up. Failed or unreachable devices are
 	// unavailable.
 	Available(node int, key string) bool
-	// Read fetches a block, performing any power management needed.
+	// Read fetches a block, performing any power management needed. The
+	// returned slice is owned by the caller: the backend must not reuse
+	// or mutate its backing array after returning (unframeBlock hands out
+	// payloads that alias it).
 	Read(node int, key string) ([]byte, error)
-	// Write stores a block, performing any power management needed.
+	// Write stores a block, performing any power management needed. The
+	// backend must not retain data after returning.
 	Write(node int, key string, data []byte) error
 	// Delete removes a block; deleting a missing block is a no-op.
 	Delete(node int, key string) error

@@ -47,12 +47,16 @@ func (s *Store) ReadBlock(name string, stripe, node int) ([]byte, error) {
 	if !s.backend.Available(node, key) {
 		return nil, fmt.Errorf("%w: %q stripe %d node %d", ErrNotFound, name, stripe, node)
 	}
-	framed, err := s.backend.Read(node, key)
+	framed, err := s.readFramed(node, key, nil)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %q stripe %d node %d", ErrNotFound, name, stripe, node)
 	}
-	b, ok := unframeBlock(framed)
+	// The payload crosses an ownership boundary (HTTP response body, peer
+	// exchange buffers), so take an independent copy rather than the alias
+	// unframeBlock returns.
+	b, ok := unframeBlockCopy(framed)
 	if !ok {
+		s.noteCorrupt(node)
 		return nil, fmt.Errorf("%w: %q stripe %d node %d (checksum)", ErrNotFound, name, stripe, node)
 	}
 	return b, nil
@@ -72,7 +76,7 @@ func (s *Store) WriteBlock(name string, stripe, node int, payload []byte) error 
 	if len(payload) != s.cfg.BlockSize {
 		return fmt.Errorf("archive: block size %d, want %d", len(payload), s.cfg.BlockSize)
 	}
-	return s.backend.Write(node, blockKey(name, stripe, node), frameBlock(payload))
+	return s.writeFramed(node, blockKey(name, stripe, node), payload)
 }
 
 // PutShell registers an object's metadata without writing any blocks —

@@ -15,7 +15,10 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 const frameOverhead = 4
 
-// frameBlock prepends the payload's CRC-32C.
+// frameBlock prepends the payload's CRC-32C. The returned frame is a fresh
+// buffer — the payload is copied, never aliased — so callers may frame a
+// payload that itself aliases another frame (the read-repair write-back
+// path does exactly that).
 func frameBlock(payload []byte) []byte {
 	out := make([]byte, frameOverhead+len(payload))
 	binary.BigEndian.PutUint32(out, crc32.Checksum(payload, castagnoli))
@@ -25,6 +28,14 @@ func frameBlock(payload []byte) []byte {
 
 // unframeBlock verifies and strips the checksum, reporting ok=false for
 // truncated or corrupted frames.
+//
+// Aliasing contract: the returned payload ALIASES framed's backing array
+// (framed[4:]); no copy is made. Callers that retain the payload must not
+// mutate it — and must not let anything else mutate framed — for the
+// payload's lifetime. Within this package the alias is safe because the
+// codec only reads block contents (reconstruction allocates fresh buffers)
+// and every write path re-frames through frameBlock, which copies. Callers
+// that need an independent copy use unframeBlockCopy.
 func unframeBlock(framed []byte) ([]byte, bool) {
 	if len(framed) < frameOverhead {
 		return nil, false
@@ -35,4 +46,16 @@ func unframeBlock(framed []byte) ([]byte, bool) {
 		return nil, false
 	}
 	return payload, true
+}
+
+// unframeBlockCopy is unframeBlock for payloads that outlive the framed
+// buffer or cross an ownership boundary: the payload is copied, so later
+// mutation of framed (e.g. a backend reusing its read buffer) cannot
+// corrupt it.
+func unframeBlockCopy(framed []byte) ([]byte, bool) {
+	payload, ok := unframeBlock(framed)
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), payload...), true
 }

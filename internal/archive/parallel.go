@@ -47,7 +47,7 @@ func (s *Store) PutParallel(name string, data []byte, workers int) error {
 				return
 			}
 			for node, b := range blocks {
-				_ = s.backend.Write(node, blockKey(name, st, node), frameBlock(b))
+				_ = s.writeFramed(node, blockKey(name, st, node), b)
 			}
 		}(st)
 	}
@@ -122,6 +122,8 @@ func (s *Store) GetParallel(name string, workers int) ([]byte, GetStats, error) 
 		agg.BlocksRead += r.stats.BlocksRead
 		agg.BlocksRepaired += r.stats.BlocksRepaired
 		agg.CorruptBlocks += r.stats.CorruptBlocks
+		agg.ReadRepairs += r.stats.ReadRepairs
+		agg.Retries += r.stats.Retries
 		for v := range r.touched {
 			touched[v] = true
 		}

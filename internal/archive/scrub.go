@@ -9,6 +9,7 @@ type StripeHealth struct {
 	Stripe      int
 	Missing     []int // nodes whose block is unreachable, absent, or corrupt
 	Corrupt     []int // subset of Missing that failed its checksum (bit rot)
+	Quarantined []int // nodes quarantined (excluded from Get planning) at scrub time
 	Recoverable bool  // the surviving blocks still reconstruct the data
 	// Margin is FirstFailure − len(Missing): how many further losses the
 	// stripe is guaranteed to absorb. Negative or zero means the stripe is
@@ -21,59 +22,110 @@ type StripeHealth struct {
 
 // ScrubReport aggregates a scrub pass.
 type ScrubReport struct {
-	Stripes        []StripeHealth
-	BlocksRepaired int
-	AtRisk         int // stripes with Margin <= 0 (when margin is enabled)
-	Unrecoverable  int
+	Stripes          []StripeHealth
+	BlocksRepaired   int
+	CorruptFrames    int   // frames that failed their checksum during the pass
+	AtRisk           int   // stripes with Margin <= 0 (when margin is enabled)
+	Unrecoverable    int
+	QuarantinedNodes []int // nodes quarantined at the end of the pass
 }
 
 // Scrub inspects every stripe of every object, reports each stripe's
 // health, and — when repair is true — reconstructs missing blocks and
 // rewrites them to their home devices (replaced drives are repopulated this
 // way). Unrecoverable stripes are reported, never touched.
+//
+// Scrub is also the quarantine arbiter. Unlike Get, it reads quarantined
+// nodes — the frame checksum makes the read safe, and the pass is how a
+// node earns its way back: a node that serves at least one verified frame
+// and zero corrupt ones over a full pass has its corruption count reset and,
+// if quarantined, is readmitted to the data path. A node that keeps serving
+// corrupt frames keeps its record and stays out. Outcomes are exported as
+// obs metrics (archive.scrub.*) on the store's registry.
 func (s *Store) Scrub(repair bool) (ScrubReport, error) {
 	return s.ScrubCtx(context.Background(), repair)
 }
 
 // ScrubCtx is Scrub with cancellation: the pass checks ctx at every stripe
 // boundary and returns ctx.Err() with the partial report, so a steward can
-// bound scrub latency on a large store.
+// bound scrub latency on a large store. A cancelled pass gathers no
+// quarantine evidence (partial passes must not readmit nodes).
 func (s *Store) ScrubCtx(ctx context.Context, repair bool) (ScrubReport, error) {
+	s.mScrubPasses.Inc()
 	var rep ScrubReport
+	// Per-node evidence for the quarantine verdict: frames that verified
+	// and frames that failed their checksum during this pass.
+	pass := scrubPass{
+		clean:   make([]int, s.g.Total),
+		corrupt: make([]int, s.g.Total),
+	}
 	for _, obj := range s.List() {
 		for st := 0; st < obj.Stripes; st++ {
 			if err := ctx.Err(); err != nil {
 				return rep, err
 			}
-			h, err := s.scrubStripe(obj.Name, st, repair)
+			h, err := s.scrubStripe(obj.Name, st, repair, &pass)
 			if err != nil {
 				return rep, err
 			}
 			rep.Stripes = append(rep.Stripes, h)
-			rep.BlocksRepaired += len(h.Repaired)
-			if !h.Recoverable {
-				rep.Unrecoverable++
-			} else if s.cfg.FirstFailure > 0 && h.Margin <= 0 {
-				rep.AtRisk++
-			}
 		}
 	}
+	// Second look at stripes the first sweep could not reconstruct: their
+	// failure is often transient unavailability (a flapping node, a device
+	// mid-replacement) that has passed by the end of the sweep. The partial
+	// repair above already banked whatever peeling reached.
+	if repair {
+		for i, h := range rep.Stripes {
+			if h.Recoverable {
+				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return rep, err
+			}
+			h2, err := s.scrubStripe(h.Object, h.Stripe, repair, &pass)
+			if err != nil {
+				return rep, err
+			}
+			h2.Repaired = append(append([]int(nil), h.Repaired...), h2.Repaired...)
+			rep.Stripes[i] = h2
+		}
+	}
+	for _, h := range rep.Stripes {
+		rep.BlocksRepaired += len(h.Repaired)
+		rep.CorruptFrames += len(h.Corrupt)
+		if !h.Recoverable {
+			rep.Unrecoverable++
+		} else if s.cfg.FirstFailure > 0 && h.Margin <= 0 {
+			rep.AtRisk++
+		}
+	}
+	s.noteScrubPass(pass)
+	rep.QuarantinedNodes = s.Quarantined()
+	s.mScrubRepaired.Add(int64(rep.BlocksRepaired))
+	s.mScrubCorrupt.Add(int64(rep.CorruptFrames))
+	s.mScrubUnrecov.Add(int64(rep.Unrecoverable))
 	return rep, nil
 }
 
-func (s *Store) scrubStripe(name string, st int, repair bool) (StripeHealth, error) {
-	h := StripeHealth{Object: name, Stripe: st}
+func (s *Store) scrubStripe(name string, st int, repair bool, pass *scrubPass) (StripeHealth, error) {
+	h := StripeHealth{Object: name, Stripe: st, Quarantined: s.Quarantined()}
 	blocks := make([][]byte, s.g.Total)
 	for node := 0; node < s.g.Total; node++ {
 		key := blockKey(name, st, node)
 		if s.backend.Available(node, key) {
-			framed, err := s.backend.Read(node, key)
+			framed, err := s.readFramed(node, key, nil)
 			if err == nil {
+				// The payload aliases framed; it is only read by the codec
+				// and copied by frameBlock before any repair write.
 				if b, ok := unframeBlock(framed); ok {
 					blocks[node] = b
+					pass.clean[node]++
 					continue
 				}
 				h.Corrupt = append(h.Corrupt, node)
+				pass.corrupt[node]++
+				s.noteCorrupt(node)
 			}
 		}
 		h.Missing = append(h.Missing, node)
@@ -89,14 +141,20 @@ func (s *Store) scrubStripe(name string, st int, repair bool) (StripeHealth, err
 	if s.cfg.FirstFailure > 0 {
 		h.Margin = s.cfg.FirstFailure - len(h.Missing)
 	}
-	if !h.Recoverable || !repair {
+	if !repair {
 		return h, nil
 	}
+	// Even an unrecoverable stripe gets partial repair: every block the
+	// peeling did reach is correct, and writing it back monotonically
+	// shrinks the missing set — so when the transient unavailability that
+	// defeated this pass clears, the stripe needs less to come back.
 	for _, node := range h.Missing {
 		if blocks[node] == nil {
-			continue // a check block peeling never needed; leave it
+			continue // peeling never reached it (or never needed to)
 		}
-		if werr := s.backend.Write(node, blockKey(name, st, node), frameBlock(blocks[node])); werr != nil {
+		// Quarantined nodes are repaired too: the rewrite is what heals
+		// at-rest damage, and the next pass's evidence decides readmission.
+		if werr := s.writeFramed(node, blockKey(name, st, node), blocks[node]); werr != nil {
 			continue // home device still dead; the next scrub retries
 		}
 		h.Repaired = append(h.Repaired, node)

@@ -1,0 +1,153 @@
+package archive
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"tornado/internal/core"
+	"tornado/internal/device"
+)
+
+// midReadFailBackend fails a chosen device the moment the store first tries
+// to read from it — after Available already said yes. This is the TOCTOU
+// window every retrieval plan lives with: a drive that answered the
+// availability probe can be dead by the time its block is fetched.
+type midReadFailBackend struct {
+	Backend
+	devs    device.Array
+	victim  int
+	armed   bool
+	tripped bool
+}
+
+func (b *midReadFailBackend) Read(node int, key string) ([]byte, error) {
+	if b.armed && node == b.victim {
+		b.armed = false
+		b.tripped = true
+		b.devs[b.victim].Fail()
+	}
+	return b.Backend.Read(node, key)
+}
+
+// TestGetMidReadDeviceFailure plants a device failure between the
+// availability check and the read: the planned block set comes up short, and
+// Get must degrade to peeling — falling back to the remaining reachable
+// blocks and reconstructing the lost one — and still return bit-exact data.
+func TestGetMidReadDeviceFailure(t *testing.T) {
+	g, _, err := core.Generate(core.DefaultParams(), rand.New(rand.NewPCG(77, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs := device.NewArray(g.Total)
+	mrf := &midReadFailBackend{Backend: NewArrayBackend(devs), devs: devs, victim: 0}
+	s, err := NewWithBackend(g, mrf, Config{BlockSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := payload(1500, 3)
+	if err := s.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+
+	mrf.armed = true
+	got, stats, err := s.Get("obj")
+	if err != nil {
+		t.Fatalf("Get under mid-read failure: %v (stats %+v)", err, stats)
+	}
+	if !mrf.tripped {
+		t.Fatal("trap never fired; node 0 was not in the retrieval plan")
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("mid-read failure corrupted the returned data")
+	}
+	if devs[0].State() != device.Failed {
+		t.Fatal("victim device should be failed")
+	}
+	// The victim's block was never read; decoding needed the fallback pass
+	// and reconstruction from parity — degradation, not denial.
+	if stats.BlocksRead <= g.Data-1 {
+		t.Errorf("BlocksRead = %d; the fallback pass should read beyond the minimal plan", stats.BlocksRead)
+	}
+
+	// The stripe now reports the dead node missing but recoverable, and a
+	// repair scrub cannot repopulate it until the drive is replaced.
+	rep, err := s.Scrub(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range rep.Stripes {
+		if !h.Recoverable {
+			t.Errorf("stripe %d unrecoverable after one device loss", h.Stripe)
+		}
+		if len(h.Missing) == 0 {
+			t.Errorf("stripe %d reports nothing missing with a failed device", h.Stripe)
+		}
+	}
+}
+
+// flakyBackend fails every read of one node with ErrTransient a fixed
+// number of times before letting it through — the shape of a network blip
+// or an injector's transient read error.
+type flakyBackend struct {
+	Backend
+	node     int
+	failures int
+	seen     int
+}
+
+func (b *flakyBackend) Read(node int, key string) ([]byte, error) {
+	if node == b.node && b.seen < b.failures {
+		b.seen++
+		return nil, fmt.Errorf("flaky read of node %d: %w", node, ErrTransient)
+	}
+	return b.Backend.Read(node, key)
+}
+
+// TestGetRetriesTransientErrors: a read that fails transiently within the
+// retry budget is retried and succeeds without touching parity; one that
+// exhausts the budget degrades to reconstruction. Either way the bytes are
+// exact.
+func TestGetRetriesTransientErrors(t *testing.T) {
+	g, _, err := core.Generate(core.DefaultParams(), rand.New(rand.NewPCG(77, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name     string
+		failures int
+		retries  int
+	}{
+		{"within budget", 2, 2},
+		{"past budget", 10, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			devs := device.NewArray(g.Total)
+			fb := &flakyBackend{Backend: NewArrayBackend(devs), node: 1}
+			s, err := NewWithBackend(g, fb, Config{BlockSize: 64, Retries: tc.retries})
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := payload(900, 4)
+			if err := s.Put("obj", data); err != nil {
+				t.Fatal(err)
+			}
+			fb.failures = tc.failures
+
+			got, stats, err := s.Get("obj")
+			if err != nil {
+				t.Fatalf("Get: %v", err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Error("transient faults corrupted the returned data")
+			}
+			if stats.Retries == 0 {
+				t.Error("no retries recorded against a flaky backend")
+			}
+			if v := s.Metrics().Counter("archive.read.retries").Value(); v == 0 {
+				t.Error("archive.read.retries metric not fed")
+			}
+		})
+	}
+}

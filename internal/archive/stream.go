@@ -37,7 +37,7 @@ func (s *Store) PutReader(name string, r io.Reader) (int, error) {
 				return total, encErr
 			}
 			for node, b := range blocks {
-				_ = s.backend.Write(node, blockKey(name, stripes, node), frameBlock(b))
+				_ = s.writeFramed(node, blockKey(name, stripes, node), b)
 			}
 			stripes++
 			total += n

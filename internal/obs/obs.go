@@ -284,13 +284,49 @@ func (s Snapshot) String() string {
 	return out
 }
 
+// MergeSnapshots unions snapshots into one: counters sharing a name are
+// summed (they count the same events observed from different registries);
+// for gauges and histograms a later snapshot wins. Registries that use
+// disjoint name prefixes (http.*, archive.*, chaos.*) merge losslessly.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramStats{},
+	}
+	for _, s := range snaps {
+		for k, v := range s.Counters {
+			out.Counters[k] += v
+		}
+		for k, v := range s.Gauges {
+			out.Gauges[k] = v
+		}
+		for k, v := range s.Histograms {
+			out.Histograms[k] = v
+		}
+	}
+	return out
+}
+
 // Handler serves the registry as a JSON snapshot — mounted by the steward
 // server at /metrics.
 func (r *Registry) Handler() http.Handler {
+	return MergedHandler(r)
+}
+
+// MergedHandler serves the union of several registries as one JSON
+// snapshot (see MergeSnapshots) — the steward server uses it to export its
+// HTTP request metrics next to the archive store's self-healing and scrub
+// counters on a single /metrics route.
+func MergedHandler(regs ...*Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snaps := make([]Snapshot, len(regs))
+		for i, r := range regs {
+			snaps[i] = r.Snapshot()
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(r.Snapshot())
+		_ = enc.Encode(MergeSnapshots(snaps...))
 	})
 }

@@ -56,7 +56,9 @@ func NewServer(store *archive.Store) *Server {
 	s.route("POST /shell/{name...}", "put_shell", s.putShell)
 	s.route("GET /health", "health", s.health)
 	s.route("POST /scrub", "scrub", s.scrub)
-	s.mux.Handle("GET /metrics", s.metrics.Handler())
+	// /metrics unions the server's HTTP request metrics with the store's
+	// self-healing and scrub counters (archive.*) in one JSON snapshot.
+	s.mux.Handle("GET /metrics", obs.MergedHandler(s.metrics, store.Metrics()))
 	s.route("GET /healthz", "healthz", s.healthz)
 	return s
 }
@@ -168,6 +170,7 @@ func (s *Server) getObject(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("X-Devices-Accessed", strconv.Itoa(stats.DevicesAccessed))
 	w.Header().Set("X-Blocks-Repaired", strconv.Itoa(stats.BlocksRepaired))
+	w.Header().Set("X-Read-Repairs", strconv.Itoa(stats.ReadRepairs))
 	w.Write(data)
 }
 

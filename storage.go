@@ -6,6 +6,8 @@ import (
 
 	"tornado/internal/altgraph"
 	"tornado/internal/archive"
+	"tornado/internal/chaos"
+	"tornado/internal/chaos/soak"
 	"tornado/internal/codec"
 	"tornado/internal/device"
 	"tornado/internal/federation"
@@ -50,7 +52,41 @@ type (
 	FederationDetection = federation.Detection
 	// RAIDScheme is a named baseline with its analytic failure model.
 	RAIDScheme = raid.Scheme
+	// ChaosConfig is a deterministic fault-injection schedule.
+	ChaosConfig = chaos.Config
+	// ChaosInjector wraps a StorageBackend with seeded fault injection.
+	ChaosInjector = chaos.Injector
+	// SoakConfig tunes one randomized chaos campaign.
+	SoakConfig = soak.Config
+	// SoakReport is one campaign's outcome; Check() enforces its invariants.
+	SoakReport = soak.Report
 )
+
+// Fault-tolerance error sentinels.
+var (
+	// ErrTransient marks a backend fault worth retrying (archive.ErrTransient).
+	ErrTransient = archive.ErrTransient
+	// ErrDegraded is Put refusing to store an object below its durability floor.
+	ErrDegraded = archive.ErrDegraded
+	// ErrInjected is a chaos-injected transient fault (wraps ErrTransient).
+	ErrInjected = chaos.ErrInjected
+	// ErrNodeLost is a chaos-injected permanent node loss.
+	ErrNodeLost = chaos.ErrNodeLost
+)
+
+// NewChaosBackend wraps inner with a seeded, deterministic fault injector —
+// composable over the device-array and MAID backends alike.
+func NewChaosBackend(inner StorageBackend, cfg ChaosConfig) *ChaosInjector {
+	return chaos.Wrap(inner, cfg)
+}
+
+// RunSoak executes one seeded chaos campaign against a fresh archive stack
+// and returns its report; call Report.Check for the invariant verdict.
+func RunSoak(cfg SoakConfig) (SoakReport, error) { return soak.Run(cfg) }
+
+// DefaultSoakFaults is the moderate-rate fault schedule soak campaigns use
+// by default.
+func DefaultSoakFaults() ChaosConfig { return soak.DefaultFaults() }
 
 // Device state values.
 const (
