@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fuzz check smoke clean
+.PHONY: all build test race vet fuzz bench check smoke clean
 
 all: build
 
@@ -10,20 +10,29 @@ build:
 test:
 	$(GO) test ./...
 
-# The steward federation stack, the simulation workers, and the campaign
-# worker pool are the concurrency-heavy packages; run them under the race
-# detector.
+# The steward federation stack, the simulation workers, the campaign
+# worker pool, and the decode/adjust certification loops are the
+# concurrency-heavy packages; run them under the race detector.
 race:
-	$(GO) test -race ./internal/steward/ ./internal/sim/ ./internal/obs/ ./internal/campaign/
+	$(GO) test -race ./internal/steward/ ./internal/sim/ ./internal/obs/ ./internal/campaign/ \
+		./internal/decode/ ./internal/adjust/
 
 vet:
 	$(GO) vet ./...
 
-# fuzz gives the frame codec a short randomized shake on every check; longer
-# sessions: make fuzz FUZZTIME=10m
+# fuzz gives the frame codec and the peeling-kernel differential battery a
+# short randomized shake on every check; longer sessions:
+# make fuzz FUZZTIME=10m
 FUZZTIME ?= 3s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzFrameRoundTrip -fuzztime $(FUZZTIME) ./internal/archive/
+	$(GO) test -run '^$$' -fuzz FuzzKernelMatchesReference -fuzztime $(FUZZTIME) ./internal/decode/
+
+# bench measures the certification-scan hot path (decoder baselines vs the
+# incremental kernel) and writes BENCH_decode.json; -check enforces the
+# zero-allocation invariant on the steady-state kernel paths.
+bench:
+	$(GO) run ./cmd/benchreport -check
 
 check: vet build test race fuzz
 

@@ -1,0 +1,314 @@
+// Command benchreport measures the certification-scan hot path and writes a
+// machine-readable BENCH_decode.json: ns/pattern, patterns/sec, and
+// allocs/op for the legacy full-reset Decoder scan (the "before"), the CSR
+// kernel's one-shot path, and the incremental revolving-door kernel scan
+// that sim.ScanRangeCtx now runs (the "after"), plus the end-to-end
+// ScanRangeCtx throughput. Three before/after ratios are reported:
+// scan_speedup (the end-to-end exhaustive-scan workload),
+// kernel_scan_speedup (the per-pattern inner loop alone), and
+// recoverable_k5_speedup (one k=5 recoverability query, one-shot Decoder
+// versus the kernel in scan order).
+//
+// Usage:
+//
+//	benchreport [-o BENCH_decode.json] [-check]
+//
+// -check exits nonzero when a steady-state kernel benchmark allocates,
+// which is how CI guards the zero-allocation invariant.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"tornado/internal/combin"
+	"tornado/internal/core"
+	"tornado/internal/decode"
+	"tornado/internal/graph"
+	"tornado/internal/sim"
+)
+
+const scanK = 5 // the paper's deepest routinely-certified cardinality
+
+// result is one benchmark row of the report.
+type result struct {
+	Name           string  `json:"name"`
+	NsPerPattern   float64 `json:"ns_per_pattern"`
+	PatternsPerSec float64 `json:"patterns_per_sec"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	Iterations     int     `json:"iterations"`
+	// SteadyState marks benchmarks whose allocs/op must be zero (-check).
+	SteadyState bool `json:"steady_state"`
+}
+
+type report struct {
+	GeneratedUnix int64    `json:"generated_unix"`
+	GoVersion     string   `json:"go_version"`
+	Graph         string   `json:"graph"`
+	Nodes         int      `json:"nodes"`
+	DataNodes     int      `json:"data_nodes"`
+	ScanK         int      `json:"scan_k"`
+	Benchmarks    []result `json:"benchmarks"`
+	// ScanSpeedup is decoder_scan_range ns/pattern divided by
+	// sim_scan_range ns/pattern — the end-to-end before/after of the
+	// exhaustive-certification hot path, including enumeration,
+	// cancellation checks, and metrics flushes on both sides.
+	ScanSpeedup float64 `json:"scan_speedup"`
+	// KernelScanSpeedup is decoder_lex_scan / kernel_gray_scan — the
+	// per-pattern inner loop alone: full Decoder evaluation in
+	// lexicographic order versus one revolving-door swap plus one
+	// incremental Eval.
+	KernelScanSpeedup float64 `json:"kernel_scan_speedup"`
+	// RecoverableK5Speedup is decoder_oneshot_k5 / kernel_gray_scan —
+	// what one k=5 recoverability query costs before and after: the
+	// BenchmarkRecoverableK5-class baseline (stateful Decoder, full
+	// erase + peel + reset per independent query) against the same query
+	// answered by the incremental kernel in scan order, where the erasure
+	// set is reached by a one-swap delta instead of built from scratch.
+	RecoverableK5Speedup float64 `json:"recoverable_k5_speedup"`
+}
+
+func run(name string, patternsPerOp int64, steady bool, fn func(b *testing.B)) result {
+	br := testing.Benchmark(fn)
+	ns := float64(br.NsPerOp()) / float64(patternsPerOp)
+	if ns <= 0 { // sub-ns ops round to zero; recompute from totals
+		ns = float64(br.T.Nanoseconds()) / float64(int64(br.N)*patternsPerOp)
+	}
+	r := result{
+		Name:           name,
+		NsPerPattern:   ns,
+		PatternsPerSec: 1e9 / ns,
+		BytesPerOp:     br.AllocedBytesPerOp(),
+		AllocsPerOp:    br.AllocsPerOp(),
+		Iterations:     br.N,
+		SteadyState:    steady,
+	}
+	fmt.Printf("%-24s %10.1f ns/pattern %14.0f patterns/sec %4d allocs/op\n",
+		r.Name, r.NsPerPattern, r.PatternsPerSec, r.AllocsPerOp)
+	return r
+}
+
+func main() {
+	out := flag.String("o", "BENCH_decode.json", "report output path")
+	check := flag.Bool("check", false, "exit nonzero if a steady-state kernel benchmark allocates")
+	flag.Parse()
+
+	// The paper graph: a generated, screened 96-node Tornado cascade.
+	g, _, err := core.Generate(core.DefaultParams(), rand.New(rand.NewPCG(2006, 0)))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+
+	rep := report{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		Graph:         "core.Generate(DefaultParams, PCG(2006,0))",
+		Nodes:         g.Total,
+		DataNodes:     g.Data,
+		ScanK:         scanK,
+	}
+
+	rep.Benchmarks = append(rep.Benchmarks,
+		run("decoder_oneshot_k5", 1, false, func(b *testing.B) { benchDecoderOneShot(b, g) }),
+		run("kernel_oneshot_k5", 1, true, func(b *testing.B) { benchKernelOneShot(b, g) }),
+		run("decoder_lex_scan", 1, false, func(b *testing.B) { benchDecoderLexScan(b, g) }),
+		run("kernel_gray_scan", 1, true, func(b *testing.B) { benchKernelGrayScan(b, g) }),
+		run("decoder_scan_range", scanRangePatterns, false, func(b *testing.B) { benchDecoderScanRange(b, g) }),
+		run("sim_scan_range", scanRangePatterns, false, func(b *testing.B) { benchScanRange(b, g) }),
+	)
+
+	ns := map[string]float64{}
+	for _, r := range rep.Benchmarks {
+		ns[r.Name] = r.NsPerPattern
+	}
+	rep.ScanSpeedup = ns["decoder_scan_range"] / ns["sim_scan_range"]
+	rep.KernelScanSpeedup = ns["decoder_lex_scan"] / ns["kernel_gray_scan"]
+	rep.RecoverableK5Speedup = ns["decoder_oneshot_k5"] / ns["kernel_gray_scan"]
+	fmt.Printf("scan speedup:           %6.2fx (pre-kernel scan range / sim.ScanRangeCtx, end to end)\n", rep.ScanSpeedup)
+	fmt.Printf("kernel scan speedup:    %6.2fx (lex Decoder loop / revolving-door kernel loop)\n", rep.KernelScanSpeedup)
+	fmt.Printf("RecoverableK5 speedup:  %6.2fx (one-shot Decoder query / kernel query in scan order)\n", rep.RecoverableK5Speedup)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+
+	if *check {
+		failed := false
+		for _, r := range rep.Benchmarks {
+			if r.SteadyState && r.AllocsPerOp > 0 {
+				fmt.Fprintf(os.Stderr, "benchreport: %s allocates %d/op; steady-state kernel paths must be allocation-free\n",
+					r.Name, r.AllocsPerOp)
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+	}
+}
+
+// benchDecoderOneShot is the pre-kernel baseline: the stateful Decoder
+// answering independent random k=5 patterns with a full erase + reset per
+// pattern.
+func benchDecoderOneShot(b *testing.B, g *graph.Graph) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	d := decode.New(g)
+	erased := make([]int, scanK)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range erased {
+			erased[j] = rng.IntN(g.Total)
+		}
+		d.Recoverable(erased)
+	}
+}
+
+// benchKernelOneShot is the kernel on the same independent-pattern
+// workload (the Monte Carlo access pattern).
+func benchKernelOneShot(b *testing.B, g *graph.Graph) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	kn := decode.NewKernel(decode.NewCSR(g))
+	erased := make([]int, scanK)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range erased {
+			erased[j] = rng.IntN(g.Total)
+		}
+		kn.Recoverable(erased)
+	}
+}
+
+// midRank returns the midpoint of the C(total, scanK) rank space. Both
+// scan benchmarks start there: a window at rank 0 shares a low-index
+// prefix across every pattern, which is unrepresentatively cheap for the
+// full-reset decoder, while mid-space patterns have the spread of the
+// scan's steady state.
+func midRank(g *graph.Graph) int64 {
+	total, ok := combin.BinomialInt64(g.Total, scanK)
+	if !ok {
+		return 0
+	}
+	return total / 2
+}
+
+// benchDecoderLexScan replicates the pre-kernel ScanRangeCtx inner loop:
+// lexicographic enumeration, one full Decoder evaluation per pattern.
+func benchDecoderLexScan(b *testing.B, g *graph.Graph) {
+	d := decode.New(g)
+	idx := make([]int, scanK)
+	combin.Unrank(idx, g.Total, midRank(g))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if idx[0] < g.Data {
+			d.Recoverable(idx)
+		}
+		combin.Next(idx, g.Total)
+	}
+}
+
+// benchKernelGrayScan is the current ScanRangeCtx inner loop: one
+// revolving-door swap plus one incremental Eval per pattern.
+func benchKernelGrayScan(b *testing.B, g *graph.Graph) {
+	kn := decode.NewKernel(decode.NewCSR(g))
+	idx := make([]int, scanK)
+	combin.GrayUnrank(idx, g.Total, midRank(g))
+	for _, v := range idx {
+		kn.EraseOne(v)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kn.Eval()
+		out, in, ok := combin.GrayNext(idx, g.Total)
+		if ok {
+			kn.Swap(out, in)
+			continue
+		}
+		// Rank space exhausted (a long -benchtime can walk past the last
+		// C(96,5) combination): wrap to rank 0.
+		for _, v := range idx {
+			kn.RestoreOne(v)
+		}
+		combin.GrayUnrank(idx, g.Total, 0)
+		for _, v := range idx {
+			kn.EraseOne(v)
+		}
+	}
+}
+
+// scanRangePatterns is the per-op pattern count of the end-to-end scan
+// benchmarks.
+const scanRangePatterns = 1 << 17
+
+// benchDecoderScanRange replicates the pre-kernel sim.ScanRangeCtx end to
+// end — lexicographic Unrank/Next enumeration, a full Decoder evaluation
+// per pattern behind the all-check prune, modulo-based cancellation checks
+// every 8192 patterns, and the same metrics flushes — over the same
+// mid-space window benchScanRange measures. This is the "before" of the
+// report's scan_speedup.
+func benchDecoderScanRange(b *testing.B, g *graph.Graph) {
+	ctx := context.Background()
+	reg := sim.Metrics()
+	tested := reg.Counter(sim.MetricCombinationsTested)
+	found := reg.Counter(sim.MetricFailuresFound)
+	d := decode.New(g)
+	idx := make([]int, scanK)
+	lo := midRank(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		combin.Unrank(idx, g.Total, lo)
+		var nTested, nFound, lastT, lastF int64
+		for r := lo; r < lo+scanRangePatterns; r++ {
+			if (r-lo)%8192 == 0 {
+				if ctx.Err() != nil {
+					b.Fatal(ctx.Err())
+				}
+				tested.Add(nTested - lastT)
+				found.Add(nFound - lastF)
+				lastT, lastF = nTested, nFound
+			}
+			nTested++
+			if idx[0] < g.Data && !d.Recoverable(idx) {
+				nFound++
+			}
+			combin.Next(idx, g.Total)
+		}
+		tested.Add(nTested - lastT)
+		found.Add(nFound - lastF)
+	}
+}
+
+// benchScanRange measures sim.ScanRangeCtx end to end — enumeration,
+// kernel, cancellation checks, metrics flushes — over a mid-space rank
+// window (see midRank).
+func benchScanRange(b *testing.B, g *graph.Graph) {
+	ctx := context.Background()
+	lo := midRank(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.ScanRangeCtx(ctx, g, scanK, lo, lo+scanRangePatterns, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -26,6 +26,13 @@ func CacheKey(g *graph.Graph, spec Spec) string {
 	return cacheKey(g.Fingerprint(), spec.normalize(g.Total))
 }
 
+// scanOrderVersion participates in the cache key so entries computed under
+// a different shard scan order (and thus with different recorded failure
+// sets) miss instead of being served stale. "rd1" = revolving-door order,
+// introduced with manifestVersion 2; v1's lexicographic entries hashed
+// without any order tag.
+const scanOrderVersion = "rd1"
+
 func cacheKey(fingerprint string, normSpec Spec) string {
 	data, err := json.Marshal(normSpec)
 	if err != nil {
@@ -34,6 +41,8 @@ func cacheKey(fingerprint string, normSpec Spec) string {
 	}
 	h := sha256.New()
 	h.Write([]byte(fingerprint))
+	h.Write([]byte{'\n'})
+	h.Write([]byte(scanOrderVersion))
 	h.Write([]byte{'\n'})
 	h.Write(data)
 	return hex.EncodeToString(h.Sum(nil))

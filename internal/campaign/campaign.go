@@ -3,8 +3,9 @@
 // reconstruction-failure profiles of §3 — into durable, resumable units of
 // work. A campaign spec (graph + options) is deterministically sharded:
 // exhaustive cardinalities are cut into contiguous combination-rank ranges
-// via combin.SplitRanges (scanned with combin.Unrank/Next), and Monte Carlo
-// points into fixed-size trial blocks each owning a seeded RNG stream. A
+// via combin.SplitRanges (scanned in revolving-door order by the incremental
+// peeling kernel; see sim.ScanRangeCtx), and Monte Carlo points into
+// fixed-size trial blocks each owning a seeded RNG stream. A
 // worker pool executes shards and journals each completed shard to a
 // crash-safe JSONL file, so Resume skips finished shards and — because
 // every shard is a pure function of its plan entry — produces results
@@ -26,6 +27,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"slices"
 	"sync"
 	"time"
 
@@ -587,11 +589,12 @@ func (r *runner) runWorstCase(ctx context.Context, groups [][]shard) (*sim.Worst
 	return &res, nil
 }
 
-// mergeK folds a completed cardinality group into a KResult. Shards are
-// ascending rank ranges and each shard's failures are in rank order, so
-// concatenating in plan order yields the lexicographically first
-// MaxFailures failing sets — a deterministic choice independent of worker
-// scheduling and of where a run was interrupted.
+// mergeK folds a completed cardinality group into a KResult. Each shard
+// records the first MaxFailures failing sets it encounters in scan
+// (revolving-door) order; concatenating in plan order and sorting the kept
+// sets lexicographically is a deterministic choice independent of worker
+// scheduling and of where a run was interrupted — the same merge
+// sim.ExhaustiveKCtx performs over its worker ranges.
 func (r *runner) mergeK(grp []shard) sim.KResult {
 	kr := sim.KResult{K: grp[0].K}
 	for _, s := range grp {
@@ -604,6 +607,7 @@ func (r *runner) mergeK(grp []shard) sim.KResult {
 			}
 		}
 	}
+	slices.SortFunc(kr.Failures, slices.Compare)
 	return kr
 }
 

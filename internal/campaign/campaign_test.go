@@ -50,8 +50,8 @@ func marshal(t *testing.T, v any) []byte {
 func TestWorstCaseCampaignMatchesSim(t *testing.T) {
 	g := testGraph(t)
 	// MaxFailures large enough to record every failing set, so both the
-	// campaign (rank order) and sim (sorted) lists are the complete sorted
-	// enumeration and can be compared exactly.
+	// campaign and sim lists are the complete sorted enumeration and can be
+	// compared exactly.
 	spec := Spec{Kind: KindWorstCase, MaxK: 3, MaxFailures: 100000, KeepGoing: true, ShardSize: 128}
 
 	res, err := Run(t.TempDir(), g, spec, Options{Workers: 4})

@@ -25,8 +25,12 @@ const (
 )
 
 // manifestVersion guards the on-disk format; Resume rejects manifests from
-// a different version rather than misreading them.
-const manifestVersion = 1
+// a different version rather than misreading them. Version 2 switched
+// exhaustive shards from lexicographic to revolving-door rank ranges
+// (sim.ScanRangeCtx), which changes each shard's recorded failure sets —
+// resuming a v1 journal against the v2 scanner would silently mix the two
+// orderings, so the bump forces a fresh campaign.
+const manifestVersion = 2
 
 // Manifest is the immutable identity of a campaign directory.
 type Manifest struct {

@@ -194,6 +194,128 @@ func ForEach(n, k int, fn func(idx []int) bool) bool {
 	}
 }
 
+// --- Revolving-door (Gray code) enumeration ---
+//
+// The revolving-door order visits the k-combinations of {0,…,n-1} so that
+// consecutive combinations differ by exactly one swapped element (one value
+// leaves the set, one enters). It is the enumeration order of the
+// incremental peeling kernel: an exhaustive scan applies a two-node
+// erase/restore delta per pattern instead of erasing and resetting all k
+// nodes. The order is defined recursively: Γ(n,k) lists the combinations
+// without n-1 first (Γ(n-1,k)), then those with n-1 in reversed order
+// (reverse(Γ(n-1,k-1)) each extended by n-1). GrayRank/GrayUnrank convert
+// between a combination and its position in this order; GrayNext computes
+// the successor in place (Knuth TAOCP 4A §7.2.1.3, Algorithm R).
+
+// GrayNext advances idx (a strictly increasing k-combination of {0,…,n-1})
+// to its successor in revolving-door order, returning the element swapped
+// out and the element swapped in. It returns ok=false (idx unchanged) when
+// idx is the final combination of the order.
+func GrayNext(idx []int, n int) (out, in int, ok bool) {
+	k := len(idx)
+	if k == 0 {
+		return 0, 0, false
+	}
+	// Easy changes on the smallest element (Algorithm R step R3).
+	if k%2 == 1 {
+		c2 := n
+		if k > 1 {
+			c2 = idx[1]
+		}
+		if idx[0]+1 < c2 {
+			out = idx[0]
+			idx[0]++
+			return out, idx[0], true
+		}
+	} else if idx[0] > 0 {
+		out = idx[0]
+		idx[0]--
+		return out, idx[0], true
+	}
+	// Alternate between trying to decrease c_j (R4) and increase c_j (R5),
+	// j ascending. Odd k starts at R4, even k at R5.
+	decrease := k%2 == 1
+	for j := 2; j <= k; {
+		if decrease {
+			if idx[j-1] >= j {
+				out = idx[j-1]
+				idx[j-1] = idx[j-2]
+				idx[j-2] = j - 2
+				return out, j - 2, true
+			}
+		} else {
+			next := n
+			if j < k {
+				next = idx[j]
+			}
+			if idx[j-1]+1 < next {
+				out = idx[j-2]
+				idx[j-2] = idx[j-1]
+				idx[j-1]++
+				return out, idx[j-1], true
+			}
+		}
+		j++
+		decrease = !decrease
+	}
+	return 0, 0, false
+}
+
+// GrayRank returns the zero-based revolving-door rank of the combination
+// idx among all k-combinations of {0,…,n-1}.
+func GrayRank(idx []int, n int) int64 {
+	kk := len(idx)
+	var rank int64
+	sign := int64(1)
+	for m := n; kk > 0; m-- {
+		if idx[kk-1] == m-1 {
+			// The combinations containing m-1 follow the C(m-1,kk) without
+			// it, in reversed Γ(m-1,kk-1) order: position a+b-1-sub.
+			a, okA := BinomialInt64(m-1, kk)
+			b, okB := BinomialInt64(m-1, kk-1)
+			if !okA || !okB {
+				panic("combin: GrayRank overflow; use big-int path")
+			}
+			rank += sign * (a + b - 1)
+			sign = -sign
+			kk--
+		}
+	}
+	return rank
+}
+
+// GrayUnrank fills idx with the combination of {0,…,n-1} whose zero-based
+// revolving-door rank is r. len(idx) determines k.
+func GrayUnrank(idx []int, n int, r int64) {
+	kk := len(idx)
+	if kk > n {
+		panic(fmt.Sprintf("combin: k=%d exceeds n=%d", kk, n))
+	}
+	if total, ok := BinomialInt64(n, kk); !ok || r < 0 || r >= total {
+		panic("combin: GrayUnrank rank out of range")
+	}
+	for m := n; kk > 0; m-- {
+		a, okA := BinomialInt64(m-1, kk)
+		if !okA {
+			panic("combin: GrayUnrank overflow; use big-int path")
+		}
+		if r < a {
+			continue // m-1 not in the combination
+		}
+		b, okB := BinomialInt64(m-1, kk-1)
+		if !okB {
+			panic("combin: GrayUnrank overflow; use big-int path")
+		}
+		idx[kk-1] = m - 1
+		// Position within the reversed Γ(m-1,kk-1) block.
+		r = b - 1 - (r - a)
+		kk--
+	}
+	if r != 0 {
+		panic("combin: GrayUnrank rank out of range")
+	}
+}
+
 // SplitRanges divides the rank space [0, total) into at most parts
 // contiguous half-open ranges of near-equal size for parallel exhaustive
 // searches and campaign sharding. The returned ranges exactly tile

@@ -1,6 +1,7 @@
 package combin
 
 import (
+	"fmt"
 	"math"
 	"math/big"
 	"math/rand/v2"
@@ -334,5 +335,146 @@ func TestQuickSplitRangesTile(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)
+	}
+}
+
+// --- Revolving-door (Gray code) enumeration ---
+
+// grayEnumerate walks the whole revolving-door order for (n, k) via
+// GrayUnrank(0) + GrayNext, returning every visited combination.
+func grayEnumerate(t *testing.T, n, k int) [][]int {
+	t.Helper()
+	total, ok := BinomialInt64(n, k)
+	if !ok {
+		t.Fatalf("C(%d,%d) overflows", n, k)
+	}
+	idx := make([]int, k)
+	GrayUnrank(idx, n, 0)
+	var out [][]int
+	for {
+		cp := make([]int, k)
+		copy(cp, idx)
+		out = append(out, cp)
+		if _, _, ok := GrayNext(idx, n); !ok {
+			break
+		}
+	}
+	if int64(len(out)) != total {
+		t.Fatalf("gray order for (%d,%d) visited %d combinations, want %d", n, k, len(out), total)
+	}
+	return out
+}
+
+// TestGrayOrderVisitsAllOnce: the revolving-door order is a permutation of
+// the lexicographic order — every combination exactly once.
+func TestGrayOrderVisitsAllOnce(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		for k := 1; k <= n; k++ {
+			seen := map[string]bool{}
+			for _, c := range grayEnumerate(t, n, k) {
+				key := fmt.Sprint(c)
+				if seen[key] {
+					t.Fatalf("(%d,%d): combination %v visited twice", n, k, c)
+				}
+				seen[key] = true
+				for i := 1; i < k; i++ {
+					if c[i-1] >= c[i] {
+						t.Fatalf("(%d,%d): combination %v not strictly increasing", n, k, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGrayOrderSingleSwap: consecutive combinations differ by exactly one
+// element, and GrayNext reports precisely that (out, in) pair.
+func TestGrayOrderSingleSwap(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		for k := 1; k <= n; k++ {
+			idx := make([]int, k)
+			GrayUnrank(idx, n, 0)
+			prev := map[int]bool{}
+			for _, v := range idx {
+				prev[v] = true
+			}
+			for {
+				before := make(map[int]bool, k)
+				for v := range prev {
+					before[v] = true
+				}
+				out, in, ok := GrayNext(idx, n)
+				if !ok {
+					break
+				}
+				if !before[out] || before[in] || out == in {
+					t.Fatalf("(%d,%d): swap (%d→%d) inconsistent with previous set %v", n, k, out, in, before)
+				}
+				delete(before, out)
+				before[in] = true
+				cur := map[int]bool{}
+				for _, v := range idx {
+					cur[v] = true
+				}
+				if len(cur) != k {
+					t.Fatalf("(%d,%d): duplicate element after swap: %v", n, k, idx)
+				}
+				for v := range cur {
+					if !before[v] {
+						t.Fatalf("(%d,%d): successor %v does not match reported swap (%d→%d)", n, k, idx, out, in)
+					}
+				}
+				prev = cur
+			}
+		}
+	}
+}
+
+// TestGrayRankUnrankRoundTrip: GrayRank inverts GrayUnrank across the whole
+// rank space, and ranks follow the enumeration order.
+func TestGrayRankUnrankRoundTrip(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		for k := 1; k <= n; k++ {
+			for r, c := range grayEnumerate(t, n, k) {
+				if got := GrayRank(c, n); got != int64(r) {
+					t.Fatalf("(%d,%d): GrayRank(%v) = %d, want %d", n, k, c, got, r)
+				}
+				idx := make([]int, k)
+				GrayUnrank(idx, n, int64(r))
+				if fmt.Sprint(idx) != fmt.Sprint(c) {
+					t.Fatalf("(%d,%d): GrayUnrank(%d) = %v, want %v", n, k, r, idx, c)
+				}
+			}
+		}
+	}
+}
+
+// TestGrayUnrankMidStart: starting an enumeration from an arbitrary rank
+// (the campaign-shard access pattern) continues the same global order.
+func TestGrayUnrankMidStart(t *testing.T) {
+	const n, k = 12, 4
+	all := grayEnumerate(t, n, k)
+	for _, start := range []int64{1, 7, 100, 300, int64(len(all) - 1)} {
+		idx := make([]int, k)
+		GrayUnrank(idx, n, start)
+		for r := start; r < int64(len(all)); r++ {
+			if fmt.Sprint(idx) != fmt.Sprint(all[r]) {
+				t.Fatalf("rank %d (from %d): got %v, want %v", r, start, idx, all[r])
+			}
+			GrayNext(idx, n)
+		}
+	}
+}
+
+func TestGrayUnrankRejectsBadRank(t *testing.T) {
+	for _, r := range []int64{-1, 6} { // C(4,2) = 6
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("GrayUnrank accepted rank %d", r)
+				}
+			}()
+			GrayUnrank(make([]int, 2), 4, r)
+		}()
 	}
 }

@@ -1,0 +1,104 @@
+package decode
+
+import "tornado/internal/graph"
+
+// CSR is a flat-array (compressed sparse row) snapshot of a graph's
+// adjacency, built once and then shared read-only by any number of Kernels
+// (one per worker goroutine). Both directions are flattened into offset +
+// adjacency pairs so the peeling inner loops walk contiguous int32 slices
+// instead of chasing the per-node slice headers of graph.Graph — the
+// exhaustive scans evaluate tens of millions of patterns, so the pointer
+// indirection per neighbor list is measurable.
+//
+// A CSR does not observe later mutations of the source graph (AddEdge,
+// RewireEdge, …); build a fresh CSR after adjusting a graph. This is the
+// access pattern of the certification loops, which re-certify a rewired
+// graph from scratch anyway.
+type CSR struct {
+	Data  int32 // data node count; IDs 0..Data-1
+	Total int32 // total node count
+
+	// Parents of node v (the right nodes referencing v):
+	// parAdj[parOff[v]:parOff[v+1]].
+	parOff []int32
+	parAdj []int32
+
+	// Left neighbors of right node r: leftAdj[leftOff[r]:leftOff[r+1]].
+	// Data nodes have empty ranges.
+	leftOff []int32
+	leftAdj []int32
+
+	// Words is the length of a node bitmask: ceil(Total/64). leftMask holds
+	// one Words-long bitmask per node (all-zero for data nodes) with the
+	// bits of the node's left neighbors set, so a kernel can count a
+	// check's missing neighbors against an erased-set mask with a couple
+	// of AND+POPCNT operations instead of walking the adjacency list.
+	Words    int
+	leftMask []uint64
+
+	// parMask is the transpose of leftMask: one Words-long bitmask per
+	// node with the bits of the node's parents (the checks referencing
+	// it) set. Kernels intersect it with their set of active rescuer
+	// checks to find the certificate pairs an erasure breaks without
+	// walking the parent list.
+	parMask []uint64
+}
+
+// NewCSR flattens g's adjacency. The graph is not retained.
+func NewCSR(g *graph.Graph) *CSR {
+	c := &CSR{
+		Data:    int32(g.Data),
+		Total:   int32(g.Total),
+		parOff:  make([]int32, g.Total+1),
+		leftOff: make([]int32, g.Total+1),
+	}
+	var nPar, nLeft int32
+	for v := 0; v < g.Total; v++ {
+		c.parOff[v] = nPar
+		nPar += int32(len(g.Parents(v)))
+		c.leftOff[v] = nLeft
+		if g.IsRight(v) {
+			nLeft += int32(len(g.LeftNeighbors(v)))
+		}
+	}
+	c.parOff[g.Total] = nPar
+	c.leftOff[g.Total] = nLeft
+	c.parAdj = make([]int32, 0, nPar)
+	c.leftAdj = make([]int32, 0, nLeft)
+	for v := 0; v < g.Total; v++ {
+		c.parAdj = append(c.parAdj, g.Parents(v)...)
+		if g.IsRight(v) {
+			c.leftAdj = append(c.leftAdj, g.LeftNeighbors(v)...)
+		}
+	}
+	c.Words = (g.Total + 63) / 64
+	c.leftMask = make([]uint64, g.Total*c.Words)
+	for r := g.Data; r < g.Total; r++ {
+		m := c.leftMask[r*c.Words : (r+1)*c.Words]
+		for _, l := range g.LeftNeighbors(r) {
+			m[l>>6] |= 1 << (uint(l) & 63)
+		}
+	}
+	c.parMask = make([]uint64, g.Total*c.Words)
+	for v := 0; v < g.Total; v++ {
+		m := c.parMask[v*c.Words : (v+1)*c.Words]
+		for _, p := range g.Parents(v) {
+			m[p>>6] |= 1 << (uint(p) & 63)
+		}
+	}
+	return c
+}
+
+// LeftMask returns right node r's left neighbors as a Words-long bitmask.
+// The caller must not mutate the returned slice.
+func (c *CSR) LeftMask(r int32) []uint64 {
+	return c.leftMask[int(r)*c.Words : (int(r)+1)*c.Words]
+}
+
+// Parents returns the right nodes referencing v. The caller must not
+// mutate the returned slice.
+func (c *CSR) Parents(v int32) []int32 { return c.parAdj[c.parOff[v]:c.parOff[v+1]] }
+
+// LeftNeighbors returns the left-neighbor list of right node r. The caller
+// must not mutate the returned slice.
+func (c *CSR) LeftNeighbors(r int32) []int32 { return c.leftAdj[c.leftOff[r]:c.leftOff[r+1]] }

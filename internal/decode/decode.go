@@ -5,11 +5,15 @@
 // are present. The two rules are applied to fixpoint across all cascade
 // levels; data survives if every data node is present afterwards.
 //
-// The Decoder is stateful and allocation-free after construction so that the
-// exhaustive worst-case searches and Monte Carlo profiles (paper §3) can
-// evaluate millions of erasure patterns per second. Work is proportional to
-// the number of erased nodes and the peeling activity they trigger, not to
-// the graph size, because state is restored incrementally after every case.
+// The package answers recoverability at two levels. Decoder is the general,
+// stateful reconstruction engine — erase anytime, Supply recovered nodes,
+// full Decode reports — and the oracle the kernel's differential tests run
+// against. Kernel (over a shared read-only CSR snapshot) is the hot path of
+// the exhaustive worst-case searches and Monte Carlo profiles (paper §3):
+// it evaluates erasure patterns by incremental erase/restore/swap deltas
+// with a tiered, allocation-free Eval, which is what lets the revolving-
+// door scans in internal/sim test tens of millions of patterns per second.
+// See DESIGN.md "Decoder kernels".
 package decode
 
 import (

@@ -1,0 +1,93 @@
+package decode
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"tornado/internal/combin"
+)
+
+// FuzzKernelMatchesReference is the differential battery's randomized arm:
+// a seeded random cascade graph plus a seeded stream of erasure sets,
+// evaluated four ways — ReferenceRecoverable (the oracle), the stateful
+// Decoder, the kernel's one-shot path, and the kernel's incremental path
+// (mutating one long-lived kernel by per-set deltas, the revolving-door
+// scan access pattern). Any disagreement is a finding. Erasure-set sizes
+// deliberately straddle maskPeelMaxK so both the mask peel and the array
+// peel are exercised, and a revolving-door burst checks Swap against the
+// one-shot verdicts.
+func FuzzKernelMatchesReference(f *testing.F) {
+	f.Add(uint64(1), uint64(2))
+	f.Add(uint64(2006), uint64(0))
+	f.Add(uint64(0xDEAD), uint64(0xBEEF))
+	f.Fuzz(func(t *testing.T, seed, stream uint64) {
+		rng := rand.New(rand.NewPCG(seed, stream))
+		g := randomCascade(rng)
+		csr := NewCSR(g)
+		oneShot := NewKernel(csr)
+		incr := NewKernel(csr)
+		d := New(g)
+
+		cur := []int{} // incr's current erasure set
+		for trial := 0; trial < 12; trial++ {
+			k := rng.IntN(g.Total + 1)
+			next := rng.Perm(g.Total)[:k]
+
+			want := ReferenceRecoverable(g, next)
+			if got := oneShot.Recoverable(next); got != want {
+				t.Fatalf("one-shot kernel = %v, reference = %v (graph %v, erased %v)", got, want, g, next)
+			}
+			if got := d.Recoverable(next); got != want {
+				t.Fatalf("decoder = %v, reference = %v (graph %v, erased %v)", got, want, g, next)
+			}
+
+			// Delta-update incr from cur to next: restore what left the
+			// set, erase what entered it.
+			inNext := make(map[int]bool, k)
+			for _, v := range next {
+				inNext[v] = true
+			}
+			inCur := make(map[int]bool, len(cur))
+			for _, v := range cur {
+				inCur[v] = true
+				if !inNext[v] {
+					incr.RestoreOne(v)
+				}
+			}
+			for _, v := range next {
+				if !inCur[v] {
+					incr.EraseOne(v)
+				}
+			}
+			cur = next
+			if got := incr.Eval(); got != want {
+				t.Fatalf("incremental kernel = %v, reference = %v (graph %v, erased %v)", got, want, g, next)
+			}
+		}
+
+		// A revolving-door burst from a random rank: every swap-adjacent
+		// pattern must agree with the one-shot verdict.
+		k := 1 + rng.IntN(min(5, g.Total))
+		total, ok := combin.BinomialInt64(g.Total, k)
+		if !ok {
+			return
+		}
+		idx := make([]int, k)
+		start := rng.Int64N(total)
+		combin.GrayUnrank(idx, g.Total, start)
+		burst := NewKernel(csr)
+		for _, v := range idx {
+			burst.EraseOne(v)
+		}
+		for step := 0; step < 40; step++ {
+			if got, want := burst.Eval(), oneShot.Recoverable(idx); got != want {
+				t.Fatalf("gray-scan kernel = %v, one-shot = %v (graph %v, erased %v)", got, want, g, idx)
+			}
+			out, in, ok := combin.GrayNext(idx, g.Total)
+			if !ok {
+				break
+			}
+			burst.Swap(out, in)
+		}
+	})
+}

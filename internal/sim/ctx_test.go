@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"tornado/internal/combin"
 	"tornado/internal/core"
 	"tornado/internal/graph"
 )
@@ -122,6 +123,46 @@ func TestOverheadCtxCancellation(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("cancelled overhead measurement did not return promptly")
+	}
+}
+
+// TestKernelScanCancellationLeaksNothing cancels an exhaustive kernel scan
+// mid-flight and checks that every scan worker (each owning a private
+// Kernel and its scratch arrays) exits — no goroutine is left holding a
+// kernel — and that a fresh scan afterwards produces the full, correct
+// result, i.e. the abandoned scan left no shared state behind.
+func TestKernelScanCancellationLeaksNothing(t *testing.T) {
+	g := ctxTestGraph(t)
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		// C(96,5) ≈ 6e7 combinations: enough work that a prompt return can
+		// only come from the cancellation path inside ScanRangeCtx.
+		_, err := ExhaustiveKCtx(ctx, g, 5, DefaultMaxFailures, 0)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled kernel scan did not return promptly")
+	}
+	goroutineSettles(t, baseline+1)
+
+	// The interrupted scan must not affect a subsequent one: k=2 completes
+	// fast and its counts are ground truth for a screened Tornado graph.
+	kr, err := ExhaustiveKCtx(context.Background(), g, 2, DefaultMaxFailures, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want, _ := combin.BinomialInt64(g.Total, 2); kr.Tested != want {
+		t.Errorf("post-cancel scan tested %d combinations, want %d", kr.Tested, want)
 	}
 }
 

@@ -166,16 +166,23 @@ func ExhaustiveKCtx(ctx context.Context, g *graph.Graph, k, maxFailures, workers
 type RangeResult struct {
 	Tested       int64   // combinations examined (= hi - lo)
 	FailureCount int64   // combinations that lost data
-	Failures     [][]int // up to maxFailures failing sets, in rank (lexicographic) order
+	Failures     [][]int // up to maxFailures failing sets (the first found in scan order), sorted lexicographically
 }
 
 // ScanRangeCtx examines every erasure combination of cardinality k whose
-// lexicographic rank lies in [lo, hi), single-threaded, recording up to
-// maxFailures failing sets in rank order. It is deterministic in its
-// arguments, which is what makes campaign shards resumable: re-scanning the
-// same range always reproduces the same result. Cancellation is honored at
-// combination-chunk boundaries, and progress counters are flushed to
-// Metrics() at the same cadence.
+// revolving-door rank (combin.GrayRank) lies in [lo, hi), single-threaded,
+// recording up to maxFailures failing sets. The revolving-door order means
+// consecutive combinations differ by one swapped element, so the scan
+// advances the incremental peeling kernel by a two-node erase/restore delta
+// per pattern instead of erasing and resetting all k nodes — this loop is
+// the system's decode hot path (see DESIGN.md "Decoder kernels").
+//
+// ScanRangeCtx is deterministic in its arguments, which is what makes
+// campaign shards resumable: re-scanning the same range always reproduces
+// the same result, and ranges tiling [0, C(total,k)) together examine every
+// combination exactly once. Cancellation is honored at combination-chunk
+// boundaries, and progress counters are flushed to Metrics() at the same
+// cadence.
 func ScanRangeCtx(ctx context.Context, g *graph.Graph, k int, lo, hi int64, maxFailures int) (RangeResult, error) {
 	if k < 1 || k > g.Total {
 		return RangeResult{}, fmt.Errorf("sim: cardinality %d out of range for %d nodes", k, g.Total)
@@ -194,34 +201,40 @@ func ScanRangeCtx(ctx context.Context, g *graph.Graph, k int, lo, hi int64, maxF
 	tested := reg.Counter(MetricCombinationsTested)
 	found := reg.Counter(MetricFailuresFound)
 
-	d := decode.New(g)
+	kn := decode.NewKernel(decode.NewCSR(g))
 	idx := make([]int, k)
-	combin.Unrank(idx, g.Total, lo)
+	combin.GrayUnrank(idx, g.Total, lo)
+	for _, v := range idx {
+		kn.EraseOne(v)
+	}
 	var res RangeResult
 	var lastFlushTested, lastFlushFails int64
+	untilCheck := int64(0) // countdown, not modulo: this loop runs per pattern
 	for r := lo; r < hi; r++ {
-		if (r-lo)%cancelCheckInterval == 0 {
+		if untilCheck == 0 {
 			if ctx.Err() != nil {
 				return RangeResult{}, ctx.Err()
 			}
 			tested.Add(res.Tested - lastFlushTested)
 			found.Add(res.FailureCount - lastFlushFails)
 			lastFlushTested, lastFlushFails = res.Tested, res.FailureCount
+			untilCheck = cancelCheckInterval
 		}
+		untilCheck--
 		res.Tested++
-		// A combination touching no data node cannot lose data; idx is
-		// sorted, so idx[0] >= Data means all-check.
-		if idx[0] < g.Data && !d.Recoverable(idx) {
+		if !kn.Eval() {
 			res.FailureCount++
 			if len(res.Failures) < maxFailures {
 				res.Failures = append(res.Failures, slices.Clone(idx))
 			}
 		}
 		if r+1 < hi {
-			combin.Next(idx, g.Total)
+			out, in, _ := combin.GrayNext(idx, g.Total)
+			kn.Swap(out, in)
 		}
 	}
 	tested.Add(res.Tested - lastFlushTested)
 	found.Add(res.FailureCount - lastFlushFails)
+	slices.SortFunc(res.Failures, slices.Compare)
 	return res, nil
 }
