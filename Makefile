@@ -20,17 +20,19 @@ race:
 vet:
 	$(GO) vet ./...
 
-# fuzz gives the frame codec and the peeling-kernel differential battery a
-# short randomized shake on every check; longer sessions:
-# make fuzz FUZZTIME=10m
+# fuzz gives the frame codec and the kernel differential batteries (peeling
+# decoder, closed-set defect scan) a short randomized shake on every check;
+# longer sessions: make fuzz FUZZTIME=10m
 FUZZTIME ?= 3s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzFrameRoundTrip -fuzztime $(FUZZTIME) ./internal/archive/
 	$(GO) test -run '^$$' -fuzz FuzzKernelMatchesReference -fuzztime $(FUZZTIME) ./internal/decode/
+	$(GO) test -run '^$$' -fuzz FuzzDefectKernelMatchesReference -fuzztime $(FUZZTIME) ./internal/defect/
 
-# bench measures the certification-scan hot path (decoder baselines vs the
-# incremental kernel) and writes BENCH_decode.json; -check enforces the
-# zero-allocation invariant on the steady-state kernel paths.
+# bench measures the certification-scan and defect-scan hot paths (map/
+# decoder baselines vs the incremental kernels) and writes BENCH_decode.json
+# plus BENCH_defect.json; -check enforces the zero-allocation invariant on
+# the steady-state kernel paths of both.
 bench:
 	$(GO) run ./cmd/benchreport -check
 

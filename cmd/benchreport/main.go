@@ -9,12 +9,18 @@
 // recoverable_k5_speedup (one k=5 recoverability query, one-shot Decoder
 // versus the kernel in scan order).
 //
+// It also measures the closed-set defect scan (DESIGN.md "Defect kernels")
+// and writes BENCH_defect.json: the map-per-subset ReferenceScan (the
+// "before"), the bitmask-kernel ScanDataLevel (the "after"), and the
+// steady-state revolving-door kernel loop, with defect_scan_speedup as the
+// before/after ratio of a full maxSize-4 data-level scan.
+//
 // Usage:
 //
-//	benchreport [-o BENCH_decode.json] [-check]
+//	benchreport [-o BENCH_decode.json] [-defect-o BENCH_defect.json] [-check]
 //
 // -check exits nonzero when a steady-state kernel benchmark allocates,
-// which is how CI guards the zero-allocation invariant.
+// which is how CI guards the zero-allocation invariant on both reports.
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"tornado/internal/combin"
 	"tornado/internal/core"
 	"tornado/internal/decode"
+	"tornado/internal/defect"
 	"tornado/internal/graph"
 	"tornado/internal/sim"
 )
@@ -76,6 +83,26 @@ type report struct {
 	RecoverableK5Speedup float64 `json:"recoverable_k5_speedup"`
 }
 
+// defectScanMaxSize is the scan depth of the defect benchmarks — one past
+// the generation gate's default, the depth certification sweeps use.
+const defectScanMaxSize = 4
+
+// defectReport is the BENCH_defect.json payload.
+type defectReport struct {
+	GeneratedUnix int64    `json:"generated_unix"`
+	GoVersion     string   `json:"go_version"`
+	Graph         string   `json:"graph"`
+	Nodes         int      `json:"nodes"`
+	DataNodes     int      `json:"data_nodes"`
+	MaxSize       int      `json:"max_size"`
+	Benchmarks    []result `json:"benchmarks"`
+	// DefectScanSpeedup is defect_reference_scan / defect_kernel_scan —
+	// the before/after of one full data-level closed-set scan to
+	// defectScanMaxSize: lexicographic map-per-subset oracle versus the
+	// sharded revolving-door bitmask kernel.
+	DefectScanSpeedup float64 `json:"defect_scan_speedup"`
+}
+
 func run(name string, patternsPerOp int64, steady bool, fn func(b *testing.B)) result {
 	br := testing.Benchmark(fn)
 	ns := float64(br.NsPerOp()) / float64(patternsPerOp)
@@ -98,6 +125,7 @@ func run(name string, patternsPerOp int64, steady bool, fn func(b *testing.B)) r
 
 func main() {
 	out := flag.String("o", "BENCH_decode.json", "report output path")
+	defectOut := flag.String("defect-o", "BENCH_defect.json", "defect-scan report output path")
 	check := flag.Bool("check", false, "exit nonzero if a steady-state kernel benchmark allocates")
 	flag.Parse()
 
@@ -137,20 +165,35 @@ func main() {
 	fmt.Printf("kernel scan speedup:    %6.2fx (lex Decoder loop / revolving-door kernel loop)\n", rep.KernelScanSpeedup)
 	fmt.Printf("RecoverableK5 speedup:  %6.2fx (one-shot Decoder query / kernel query in scan order)\n", rep.RecoverableK5Speedup)
 
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchreport:", err)
-		os.Exit(1)
+	writeJSON(*out, rep)
+
+	// The defect-scan report: one full data-level scan per op, so the
+	// per-pattern figures divide by the subsets a maxSize-4 scan examines.
+	drep := defectReport{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		Graph:         rep.Graph,
+		Nodes:         g.Total,
+		DataNodes:     g.Data,
+		MaxSize:       defectScanMaxSize,
 	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchreport:", err)
-		os.Exit(1)
+	drep.Benchmarks = append(drep.Benchmarks,
+		run("defect_reference_scan", defectScanSubsets(g), false, func(b *testing.B) { benchDefectReferenceScan(b, g) }),
+		run("defect_kernel_scan", defectScanSubsets(g), false, func(b *testing.B) { benchDefectKernelScan(b, g) }),
+		run("defect_kernel_loop", 1, true, func(b *testing.B) { benchDefectKernelLoop(b, g) }),
+	)
+	dns := map[string]float64{}
+	for _, r := range drep.Benchmarks {
+		dns[r.Name] = r.NsPerPattern
 	}
-	fmt.Printf("wrote %s\n", *out)
+	drep.DefectScanSpeedup = dns["defect_reference_scan"] / dns["defect_kernel_scan"]
+	fmt.Printf("defect scan speedup:    %6.2fx (map-per-subset reference / bitmask kernel, maxSize %d)\n",
+		drep.DefectScanSpeedup, defectScanMaxSize)
+	writeJSON(*defectOut, drep)
 
 	if *check {
 		failed := false
-		for _, r := range rep.Benchmarks {
+		for _, r := range append(append([]result(nil), rep.Benchmarks...), drep.Benchmarks...) {
 			if r.SteadyState && r.AllocsPerOp > 0 {
 				fmt.Fprintf(os.Stderr, "benchreport: %s allocates %d/op; steady-state kernel paths must be allocation-free\n",
 					r.Name, r.AllocsPerOp)
@@ -161,6 +204,19 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+func writeJSON(path string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
 }
 
 // benchDecoderOneShot is the pre-kernel baseline: the stateful Decoder
@@ -309,6 +365,71 @@ func benchScanRange(b *testing.B, g *graph.Graph) {
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.ScanRangeCtx(ctx, g, scanK, lo, lo+scanRangePatterns, 16); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// defectScanSubsets is the candidate-subset count of one full data-level
+// scan to defectScanMaxSize: sum of C(data, s) for s = 2..maxSize.
+func defectScanSubsets(g *graph.Graph) int64 {
+	var total int64
+	for s := 2; s <= defectScanMaxSize; s++ {
+		n, ok := combin.BinomialInt64(g.Data, s)
+		if !ok {
+			return 1
+		}
+		total += n
+	}
+	return total
+}
+
+// benchDefectReferenceScan is the pre-kernel defect scan: lexicographic
+// enumeration, one count map per subset.
+func benchDefectReferenceScan(b *testing.B, g *graph.Graph) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		defect.ReferenceScan(g, defectScanMaxSize)
+	}
+}
+
+// benchDefectKernelScan is the production defect scan end to end: table
+// build, sharded revolving-door kernels, minimality filter.
+func benchDefectKernelScan(b *testing.B, g *graph.Graph) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		defect.ScanDataLevel(g, defectScanMaxSize)
+	}
+}
+
+// benchDefectKernelLoop is the steady-state inner loop the -check alloc
+// gate guards: a prebuilt Table and Kernel driven one revolving-door swap
+// plus one Closed read per subset.
+func benchDefectKernelLoop(b *testing.B, g *graph.Graph) {
+	t := defect.NewDataTable(g)
+	kn := defect.NewKernel(t)
+	idx := make([]int, 3)
+	combin.First(idx, t.LeftCount)
+	for _, l := range idx {
+		kn.Add(l)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kn.Closed()
+		out, in, ok := combin.GrayNext(idx, t.LeftCount)
+		if ok {
+			kn.Swap(out, in)
+			continue
+		}
+		// Subset space exhausted: wrap to the first combination.
+		for _, l := range idx {
+			kn.Remove(l)
+		}
+		combin.First(idx, t.LeftCount)
+		for _, l := range idx {
+			kn.Add(l)
 		}
 	}
 }

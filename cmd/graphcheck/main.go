@@ -56,7 +56,18 @@ func main() {
 	}
 	fmt.Println("structure: valid")
 
-	defects := tornado.ScanDefects(g, 3)
+	all, err := tornado.ScanAllDefects(g, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var defects, upper []tornado.Defect // data-level findings reject; upper-level ones warn
+	for _, d := range all {
+		if d.Level == 0 {
+			defects = append(defects, d)
+		} else {
+			upper = append(upper, d)
+		}
+	}
 	if len(defects) == 0 {
 		fmt.Println("defects:   none up to closed sets of size 3")
 	} else {
@@ -64,6 +75,16 @@ func main() {
 		for i, d := range defects {
 			if i >= 5 {
 				fmt.Printf("           … and %d more\n", len(defects)-5)
+				break
+			}
+			fmt.Printf("           %v\n", d)
+		}
+	}
+	if len(upper) > 0 {
+		fmt.Printf("cascade:   %d closed sets in check levels (weak points, not standalone data loss)\n", len(upper))
+		for i, d := range upper {
+			if i >= 5 {
+				fmt.Printf("           … and %d more\n", len(upper)-5)
 				break
 			}
 			fmt.Printf("           %v\n", d)

@@ -10,7 +10,9 @@ import (
 	"context"
 	"fmt"
 	"math/rand/v2"
+	"slices"
 
+	"tornado/internal/defect"
 	"tornado/internal/graph"
 	"tornado/internal/sim"
 )
@@ -88,13 +90,22 @@ func ClearKCtx(ctx context.Context, g *graph.Graph, k int, opts Options, rng *ra
 			break // insufficient replacement candidates (paper §3.3)
 		}
 		work.RewireEdge(rw.Left, rw.From, rw.To)
-		lineage = append(lineage, rw)
 
-		kr, err = sim.ExhaustiveKCtx(ctx, work, k, opts.MaxFailures, opts.Workers)
+		krNew, err := sim.ExhaustiveKCtx(ctx, work, k, opts.MaxFailures, opts.Workers)
 		if err != nil {
 			return nil, rep, err
 		}
 		rep.Rounds++
+		if krNew.FailureCount > kr.FailureCount {
+			// The rewire made things worse: undo it so work never drifts
+			// from its recorded lineage, and pick again from the previous
+			// failure sets (the rng has advanced, so the next pick can
+			// land elsewhere).
+			work.RewireEdge(rw.Left, rw.To, rw.From)
+			continue
+		}
+		lineage = append(lineage, rw)
+		kr = krNew
 		if kr.FailureCount < bestCount {
 			bestCount = kr.FailureCount
 			best = work.Clone()
@@ -223,7 +234,53 @@ func pickRewire(g *graph.Graph, failures [][]int, rng *rand.Rand) (Rewire, bool)
 			to = r
 		}
 	}
+
+	// Screen the candidates so adjustment cannot trade exhaustive-search
+	// failures for a structural defect: tentatively apply each rewire and
+	// reject any that plants a new closed data set (the same condition the
+	// generation gate enforces, evaluated by the bitmask kernel). The
+	// preferred candidate goes first, the rest in ascending degree; when
+	// every candidate introduces a defect, fall back to the preferred one —
+	// the graph may already carry the defect this rewire is meant to fix.
+	before := defect.ScanDataLevel(g, rewireScreenSize)
+	rest := make([]int, 0, len(cands)-1)
+	for _, r := range cands {
+		if r != to {
+			rest = append(rest, r)
+		}
+	}
+	slices.SortStableFunc(rest, func(a, b int) int { return g.RightDegree(a) - g.RightDegree(b) })
+	for _, cand := range append([]int{to}, rest...) {
+		g.RewireEdge(target, from, cand)
+		bad := introducesNewDefect(g, before)
+		g.RewireEdge(target, cand, from)
+		if !bad {
+			return Rewire{Left: target, From: from, To: cand}, true
+		}
+	}
 	return Rewire{Left: target, From: from, To: to}, true
+}
+
+// rewireScreenSize bounds the closed-set screen applied to replacement
+// candidates — the generation gate's default scan depth.
+const rewireScreenSize = 3
+
+// introducesNewDefect reports whether g (with a rewire tentatively applied)
+// has a data-level closed set that was not present before the rewire.
+func introducesNewDefect(g *graph.Graph, before []defect.Finding) bool {
+	for _, f := range defect.ScanDataLevel(g, rewireScreenSize) {
+		known := false
+		for _, b := range before {
+			if slices.Equal(f.Lefts, b.Lefts) {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return true
+		}
+	}
+	return false
 }
 
 func contains(xs []int, v int) bool {

@@ -15,15 +15,28 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 const frameOverhead = 4
 
-// frameBlock prepends the payload's CRC-32C. The returned frame is a fresh
-// buffer — the payload is copied, never aliased — so callers may frame a
-// payload that itself aliases another frame (the read-repair write-back
-// path does exactly that).
+// frameBlock prepends the payload's checksum (see frameSum). The returned
+// frame is a fresh buffer — the payload is copied, never aliased — so
+// callers may frame a payload that itself aliases another frame (the
+// read-repair write-back path does exactly that).
 func frameBlock(payload []byte) []byte {
 	out := make([]byte, frameOverhead+len(payload))
-	binary.BigEndian.PutUint32(out, crc32.Checksum(payload, castagnoli))
+	binary.BigEndian.PutUint32(out, frameSum(payload))
 	copy(out[frameOverhead:], payload)
 	return out
+}
+
+// frameSum is CRC-32C over the payload's length followed by its bytes. The
+// length prefix closes a truncation blind spot of the bare CRC: a CRC does
+// not encode length, and in the degenerate register state (checksum
+// 0xFFFFFFFF) trailing zero bytes leave it unchanged, so a frame whose
+// payload ended in zeros could be truncated without the checksum noticing
+// (e.g. payload ff ff ff ff 00 and its 1-byte truncation share checksum
+// ffffffff). With the length folded in, any truncation is a mismatch.
+func frameSum(payload []byte) uint32 {
+	var lenBuf [8]byte
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(payload)))
+	return crc32.Update(crc32.Update(0, castagnoli, lenBuf[:]), castagnoli, payload)
 }
 
 // unframeBlock verifies and strips the checksum, reporting ok=false for
@@ -42,7 +55,7 @@ func unframeBlock(framed []byte) ([]byte, bool) {
 	}
 	want := binary.BigEndian.Uint32(framed)
 	payload := framed[frameOverhead:]
-	if crc32.Checksum(payload, castagnoli) != want {
+	if frameSum(payload) != want {
 		return nil, false
 	}
 	return payload, true

@@ -182,6 +182,12 @@ func (s *Set) NextSet(i int) int {
 	return -1
 }
 
+// Words exposes the backing word slice (LSB-first, 64 bits per word) for
+// read-only popcount loops: kernels that evaluate many Sets per second walk
+// the words directly with math/bits instead of paying a NextSet call per
+// member. The caller must not mutate the returned slice.
+func (s *Set) Words() []uint64 { return s.words }
+
 // Members appends the indices of all set bits to dst and returns it.
 func (s *Set) Members(dst []int) []int {
 	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {

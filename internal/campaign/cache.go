@@ -30,8 +30,10 @@ func CacheKey(g *graph.Graph, spec Spec) string {
 // a different shard scan order (and thus with different recorded failure
 // sets) miss instead of being served stale. "rd1" = revolving-door order,
 // introduced with manifestVersion 2; v1's lexicographic entries hashed
-// without any order tag.
-const scanOrderVersion = "rd1"
+// without any order tag. "rd2" = shards record their lexicographically
+// smallest failures instead of the first in scan order (manifestVersion 3),
+// making merged Failures independent of shard layout.
+const scanOrderVersion = "rd2"
 
 func cacheKey(fingerprint string, normSpec Spec) string {
 	data, err := json.Marshal(normSpec)

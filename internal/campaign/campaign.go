@@ -590,24 +590,23 @@ func (r *runner) runWorstCase(ctx context.Context, groups [][]shard) (*sim.Worst
 }
 
 // mergeK folds a completed cardinality group into a KResult. Each shard
-// records the first MaxFailures failing sets it encounters in scan
-// (revolving-door) order; concatenating in plan order and sorting the kept
-// sets lexicographically is a deterministic choice independent of worker
-// scheduling and of where a run was interrupted — the same merge
-// sim.ExhaustiveKCtx performs over its worker ranges.
+// records the lexicographically smallest MaxFailures failing sets of its
+// rank range, so the concatenation of all shard lists contains the global
+// lex-smallest MaxFailures; sorting then truncating reproduces exactly the
+// prefix sim.ExhaustiveKCtx computes over its worker ranges, independent of
+// shard layout, worker scheduling, and where a run was interrupted.
 func (r *runner) mergeK(grp []shard) sim.KResult {
 	kr := sim.KResult{K: grp[0].K}
 	for _, s := range grp {
 		rec := r.done[s.ID]
 		kr.Tested += rec.Tested
 		kr.FailureCount += rec.FailCount
-		for _, f := range rec.Failures {
-			if len(kr.Failures) < s.MaxFailures {
-				kr.Failures = append(kr.Failures, f)
-			}
-		}
+		kr.Failures = append(kr.Failures, rec.Failures...)
 	}
 	slices.SortFunc(kr.Failures, slices.Compare)
+	if max := grp[0].MaxFailures; len(kr.Failures) > max {
+		kr.Failures = kr.Failures[:max:max]
+	}
 	return kr
 }
 

@@ -29,8 +29,11 @@ const (
 // exhaustive shards from lexicographic to revolving-door rank ranges
 // (sim.ScanRangeCtx), which changes each shard's recorded failure sets —
 // resuming a v1 journal against the v2 scanner would silently mix the two
-// orderings, so the bump forces a fresh campaign.
-const manifestVersion = 2
+// orderings, so the bump forces a fresh campaign. Version 3 changed what a
+// shard records again: the lexicographically smallest failures of its range
+// rather than the first encountered in scan order, so merged results no
+// longer depend on the shard layout.
+const manifestVersion = 3
 
 // Manifest is the immutable identity of a campaign directory.
 type Manifest struct {

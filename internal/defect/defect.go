@@ -6,28 +6,45 @@
 // each covering check is permanently short two or more inputs (e.g. the
 // paper's "17 [48, 57] / 22 [48, 57]" example, a worst case of two).
 //
-// The scan enumerates candidate left subsets of the data level up to a
-// configurable size and reports each minimal closed set found. Graph
-// generation discards graphs with findings; the adjustment procedure uses
-// the same condition when choosing replacement edges.
+// The scan enumerates candidate left subsets up to a configurable size and
+// reports each minimal closed set found. Graph generation discards graphs
+// with data-level findings; the adjustment procedure uses the same
+// condition when choosing replacement edges.
+//
+// Two implementations coexist (see DESIGN.md "Defect kernels"):
+//
+//   - The kernel path (Table/Kernel + ScanDataLevel, ScanLevelCtx,
+//     ScanGraphCtx, ScreenCtx) precomputes per-left-node parent bitmasks
+//     and maintains per-check member counts incrementally across
+//     revolving-door subset order, sharding each size's combination rank
+//     space across a worker pool. It is the production path: the
+//     generation discard gate, the adjustment replacement check, and
+//     cmd/graphcheck all run it.
+//   - ReferenceScan/ReferenceScanLevel keep the original single-threaded
+//     map-per-subset scanner as the differential-testing oracle, exactly
+//     as decode.ReferenceRecoverable anchors the peeling kernel.
 package defect
 
 import (
+	"context"
 	"fmt"
 	"slices"
 
-	"tornado/internal/combin"
 	"tornado/internal/graph"
 )
 
 // Finding describes one closed left-node set and the right nodes that seal
 // it.
 type Finding struct {
+	Level  int   // cascade level of the left range the set lives in (0 = data)
 	Lefts  []int // the closed left set, ascending
 	Rights []int // every check adjacent to the set (each has >=2 neighbors in it), ascending
 }
 
 func (f Finding) String() string {
+	if f.Level > 0 {
+		return fmt.Sprintf("closed set (level %d): lefts %v sealed by rights %v", f.Level, f.Lefts, f.Rights)
+	}
 	return fmt.Sprintf("closed set: lefts %v sealed by rights %v", f.Lefts, f.Rights)
 }
 
@@ -55,39 +72,6 @@ func IsClosedSet(g *graph.Graph, S []int) ([]int, bool) {
 	return rights, true
 }
 
-// ScanDataLevel enumerates subsets of the data nodes of size 2..maxSize and
-// returns every minimal closed set (subsets containing an already-reported
-// set are skipped). maxSize is clamped to the data node count.
-func ScanDataLevel(g *graph.Graph, maxSize int) []Finding {
-	var findings []Finding
-	if maxSize > g.Data {
-		maxSize = g.Data
-	}
-	containsFound := func(S []int) bool {
-		for _, f := range findings {
-			if subset(f.Lefts, S) {
-				return true
-			}
-		}
-		return false
-	}
-	for size := 2; size <= maxSize; size++ {
-		combin.ForEach(g.Data, size, func(idx []int) bool {
-			if containsFound(idx) {
-				return true
-			}
-			if rights, ok := IsClosedSet(g, idx); ok {
-				findings = append(findings, Finding{
-					Lefts:  slices.Clone(idx),
-					Rights: rights,
-				})
-			}
-			return true
-		})
-	}
-	return findings
-}
-
 // subset reports whether every element of a (sorted) appears in b (sorted).
 func subset(a, b []int) bool {
 	i := 0
@@ -103,8 +87,23 @@ func subset(a, b []int) bool {
 // the data level, or nil when the graph passes. It is the generation-time
 // gate of paper §3.3 ("graphs that fail are discarded").
 func Screen(g *graph.Graph, maxSize int) error {
-	if fs := ScanDataLevel(g, maxSize); len(fs) > 0 {
+	return ScreenCtx(context.Background(), g, maxSize)
+}
+
+// ScreenCtx is Screen with cancellation: the scan workers observe ctx at
+// subset-chunk boundaries, so a canceled screen returns ctx.Err() within
+// one chunk of kernel work.
+func ScreenCtx(ctx context.Context, g *graph.Graph, maxSize int) error {
+	fs, err := scanTableCtx(ctx, NewDataTable(g), maxSize, 0)
+	if err != nil {
+		return err
+	}
+	switch len(fs) {
+	case 0:
+		return nil
+	case 1:
+		return fmt.Errorf("defect: %v", fs[0])
+	default:
 		return fmt.Errorf("defect: %v (and %d more)", fs[0], len(fs)-1)
 	}
-	return nil
 }

@@ -1,0 +1,44 @@
+package defect
+
+import (
+	"sync/atomic"
+
+	"tornado/internal/obs"
+)
+
+// Metric names published by the defect scan workers. Counters are flushed
+// at subset-chunk boundaries (every chunkInterval subsets), so a deep
+// all-level screen is observable while it runs — scrape
+// Metrics().Snapshot() or mount Metrics().Handler().
+const (
+	// MetricSubsetsTested counts candidate left subsets evaluated by the
+	// closed-set kernels.
+	MetricSubsetsTested = "defect_subsets_tested"
+	// MetricClosedSetsFound counts closed subsets found (before minimality
+	// filtering).
+	MetricClosedSetsFound = "defect_closed_sets_found"
+)
+
+// chunkInterval is the subset-chunk size between context checks and metric
+// flushes in scan workers — the same cadence the sim scan loops use, so a
+// canceled screen returns within one chunk of kernel work.
+const chunkInterval = 8192
+
+// metricsReg holds the registry the scan workers publish to; package-level
+// (rather than an option threaded through every call) for the same reason
+// as sim.Metrics.
+var metricsReg atomic.Pointer[obs.Registry]
+
+func init() { metricsReg.Store(obs.NewRegistry()) }
+
+// Metrics returns the registry the defect scan workers publish progress
+// counters to.
+func Metrics() *obs.Registry { return metricsReg.Load() }
+
+// SetMetrics redirects the defect progress counters to reg (e.g. a registry
+// already exported over HTTP). A nil reg is ignored.
+func SetMetrics(reg *obs.Registry) {
+	if reg != nil {
+		metricsReg.Store(reg)
+	}
+}

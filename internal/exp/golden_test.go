@@ -66,9 +66,9 @@ func TestGoldenQuickCertification(t *testing.T) {
 // TestGoldenClearCardinality pins the Full()-style k=4 adjustment pass on
 // each Quick() seed: the exact failing-set count before clearing, the count
 // the rewiring converged to, the rounds it took, and whether it cleared.
-// Seed 2007 is the interesting fixture — its single k=4 failure resists the
-// rewire heuristic, the paper's "success is ultimately related to the
-// degree of the graph" case.
+// Seed 2007 used to stall at one stubborn k=4 failure; with worker-count-
+// independent failure witnesses (lex-smallest prefix) and defect-screened
+// replacement candidates the heuristic now lands a rewire that clears it.
 func TestGoldenClearCardinality(t *testing.T) {
 	golden := []struct {
 		seed            uint64
@@ -78,7 +78,7 @@ func TestGoldenClearCardinality(t *testing.T) {
 		cleared         bool
 	}{
 		{2006, 3, 0, 2, true},
-		{2007, 1, 1, 2, false},
+		{2007, 1, 0, 2, true},
 		{2011, 4, 0, 4, true},
 	}
 	for _, want := range golden {

@@ -51,7 +51,7 @@ type KResult struct {
 	K            int
 	Tested       int64   // combinations examined (= C(total, k))
 	FailureCount int64   // combinations that lost data
-	Failures     [][]int // recorded failing sets, up to MaxFailures
+	Failures     [][]int // the lexicographically smallest failing sets, up to MaxFailures (worker-count independent)
 }
 
 // WorstCaseResult summarizes a search.
@@ -128,37 +128,48 @@ func ExhaustiveKCtx(ctx context.Context, g *graph.Graph, k, maxFailures, workers
 	workers = defaultWorkers(workers)
 	ranges := combin.SplitRanges(total, workers)
 
-	var (
-		mu       sync.Mutex
-		failures [][]int
-		count    int64
-	)
+	rrs := make([]RangeResult, len(ranges))
+	errs := make([]error, len(ranges))
 	var wg sync.WaitGroup
-	for _, rg := range ranges {
+	for i, rg := range ranges {
 		wg.Add(1)
-		go func(lo, hi int64) {
+		go func(i int, lo, hi int64) {
 			defer wg.Done()
-			rr, err := ScanRangeCtx(ctx, g, k, lo, hi, maxFailures)
-			if err != nil {
-				return // ctx canceled; surfaced after wg.Wait
-			}
-			mu.Lock()
-			count += rr.FailureCount
-			for _, f := range rr.Failures {
-				if len(failures) < maxFailures {
-					failures = append(failures, f)
-				}
-			}
-			mu.Unlock()
-		}(rg[0], rg[1])
+			rrs[i], errs[i] = ScanRangeCtx(ctx, g, k, lo, hi, maxFailures)
+		}(i, rg[0], rg[1])
 	}
 	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return KResult{}, err
+	// Propagate the first worker error in range order — a range validation
+	// failure must not be silently reported as a clean scan.
+	for _, err := range errs {
+		if err != nil {
+			return KResult{}, err
+		}
 	}
 
-	slices.SortFunc(failures, slices.Compare)
+	var count int64
+	var failures [][]int
+	for _, rr := range rrs {
+		count += rr.FailureCount
+		failures = append(failures, rr.Failures...)
+	}
+	// Each range keeps its lexicographically smallest failures (up to
+	// maxFailures), so their union contains the global lex-smallest
+	// maxFailures: sorting then truncating yields a canonical prefix that
+	// is independent of the worker count and range tiling.
+	failures = mergeFailures(failures, maxFailures)
 	return KResult{K: k, Tested: total, FailureCount: count, Failures: failures}, nil
+}
+
+// mergeFailures canonicalizes recorded failing sets from range scans whose
+// per-range lists are each lex-smallest-capped: sort lexicographically,
+// then truncate to the maxFailures prefix.
+func mergeFailures(failures [][]int, maxFailures int) [][]int {
+	slices.SortFunc(failures, slices.Compare)
+	if len(failures) > maxFailures {
+		failures = failures[:maxFailures:maxFailures]
+	}
+	return failures
 }
 
 // RangeResult reports an exhaustive scan of one contiguous rank range — the
@@ -166,12 +177,13 @@ func ExhaustiveKCtx(ctx context.Context, g *graph.Graph, k, maxFailures, workers
 type RangeResult struct {
 	Tested       int64   // combinations examined (= hi - lo)
 	FailureCount int64   // combinations that lost data
-	Failures     [][]int // up to maxFailures failing sets (the first found in scan order), sorted lexicographically
+	Failures     [][]int // the lexicographically smallest failing sets of the range, up to maxFailures, ascending
 }
 
 // ScanRangeCtx examines every erasure combination of cardinality k whose
 // revolving-door rank (combin.GrayRank) lies in [lo, hi), single-threaded,
-// recording up to maxFailures failing sets. The revolving-door order means
+// recording the range's lexicographically smallest failing sets (up to
+// maxFailures). The revolving-door order means
 // consecutive combinations differ by one swapped element, so the scan
 // advances the incremental peeling kernel by a two-node erase/restore delta
 // per pattern instead of erasing and resetting all k nodes — this loop is
@@ -224,9 +236,7 @@ func ScanRangeCtx(ctx context.Context, g *graph.Graph, k int, lo, hi int64, maxF
 		res.Tested++
 		if !kn.Eval() {
 			res.FailureCount++
-			if len(res.Failures) < maxFailures {
-				res.Failures = append(res.Failures, slices.Clone(idx))
-			}
+			res.Failures = recordFailure(res.Failures, idx, maxFailures)
 		}
 		if r+1 < hi {
 			out, in, _ := combin.GrayNext(idx, g.Total)
@@ -235,6 +245,29 @@ func ScanRangeCtx(ctx context.Context, g *graph.Graph, k int, lo, hi int64, maxF
 	}
 	tested.Add(res.Tested - lastFlushTested)
 	found.Add(res.FailureCount - lastFlushFails)
-	slices.SortFunc(res.Failures, slices.Compare)
 	return res, nil
+}
+
+// recordFailure maintains fs as the lexicographically smallest failing sets
+// seen so far, ascending, capped at maxFailures. Keeping the lex-smallest
+// (rather than the first maxFailures in revolving-door scan order) makes
+// the recorded sets a pure function of the range — merging any tiling of
+// [0, C(total,k)) reproduces the same global prefix regardless of worker
+// count or shard schedule.
+func recordFailure(fs [][]int, idx []int, maxFailures int) [][]int {
+	if maxFailures <= 0 {
+		return fs
+	}
+	pos, _ := slices.BinarySearchFunc(fs, idx, slices.Compare)
+	if pos == len(fs) {
+		if len(fs) == maxFailures {
+			return fs
+		}
+		return append(fs, slices.Clone(idx))
+	}
+	fs = slices.Insert(fs, pos, slices.Clone(idx))
+	if len(fs) > maxFailures {
+		fs = fs[:maxFailures]
+	}
+	return fs
 }

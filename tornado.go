@@ -103,6 +103,29 @@ func ScanDefects(g *Graph, maxSize int) []Defect {
 	return defect.ScanDataLevel(g, maxSize)
 }
 
+// ScanDefectsCtx is ScanDefects with cancellation and an explicit worker
+// count (0 = GOMAXPROCS): scan workers observe ctx at subset-chunk
+// boundaries, so a canceled scan returns ctx.Err() within one chunk of
+// kernel work.
+func ScanDefectsCtx(ctx context.Context, g *Graph, maxSize, workers int) ([]Defect, error) {
+	return defect.ScanDataLevelCtx(ctx, g, maxSize, workers)
+}
+
+// ScanAllDefects extends the closed-set scan to every cascade level: the
+// data level plus each distinct check-level left range, findings tagged
+// with their Level. Upper-level findings mark cascade weak points (the
+// sealed checks cannot recover those nodes top-down) rather than
+// standalone data loss; the generation gate remains data-level only.
+func ScanAllDefects(g *Graph, maxSize int) ([]Defect, error) {
+	return defect.ScanGraph(g, maxSize)
+}
+
+// ScanAllDefectsCtx is ScanAllDefects with cancellation and an explicit
+// worker count (0 = GOMAXPROCS).
+func ScanAllDefectsCtx(ctx context.Context, g *Graph, maxSize, workers int) ([]Defect, error) {
+	return defect.ScanGraphCtx(ctx, g, maxSize, workers)
+}
+
 // WorstCase runs the exhaustive combinatorial search for the graph's
 // worst-case failure scenario (paper §3).
 func WorstCase(g *Graph, opts WorstCaseOptions) (WorstCaseResult, error) {
