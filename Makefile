@@ -11,11 +11,14 @@ test:
 	$(GO) test ./...
 
 # The steward federation stack, the simulation workers, the campaign
-# worker pool, and the decode/adjust certification loops are the
-# concurrency-heavy packages; run them under the race detector.
+# worker pool, the decode/adjust certification loops, the serving layer
+# (hedged reads, admission, stripe cache), the parallel stream data path,
+# and the load generator are the concurrency-heavy packages; run them
+# under the race detector.
 race:
 	$(GO) test -race ./internal/steward/ ./internal/sim/ ./internal/obs/ ./internal/campaign/ \
-		./internal/decode/ ./internal/adjust/
+		./internal/decode/ ./internal/adjust/ ./internal/serve/ ./internal/archive/ \
+		./internal/workload/
 
 vet:
 	$(GO) vet ./...
@@ -30,9 +33,13 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDefectKernelMatchesReference -fuzztime $(FUZZTIME) ./internal/defect/
 
 # bench measures the certification-scan and defect-scan hot paths (map/
-# decoder baselines vs the incremental kernels) and writes BENCH_decode.json
-# plus BENCH_defect.json; -check enforces the zero-allocation invariant on
-# the steady-state kernel paths of both.
+# decoder baselines vs the incremental kernels) and the serving layer
+# (Zipf load generator over a chaos backend with a concurrent scrub, plus
+# the stream/encode data-path loops), writing BENCH_decode.json,
+# BENCH_defect.json, and BENCH_serve.json; -check enforces the
+# zero-allocation invariant on the steady-state kernel paths, the
+# bit-exact-or-error invariant on the chaos load run, and the
+# backend-contract allocation budget on the stream stripe loop.
 bench:
 	$(GO) run ./cmd/benchreport -check
 

@@ -28,14 +28,16 @@ func main() {
 	log.SetPrefix("archivectl: ")
 
 	var (
-		seed    = flag.Uint64("seed", 2006, "graph generation seed")
-		adjustK = flag.Int("adjust", 3, "adjust the graph to tolerate this cardinality")
-		objects = flag.Int("objects", 10, "objects to store")
-		size    = flag.Int("size", 50000, "bytes per object")
-		block   = flag.Int("block", 4096, "stripe block size")
-		failN   = flag.Int("fail", 4, "devices to fail mid-scenario")
-		maidOn  = flag.Bool("maid", false, "run on a power-managed MAID shelf")
-		powerOn = flag.Int("poweron", 48, "MAID power budget (max spinning drives)")
+		seed     = flag.Uint64("seed", 2006, "graph generation seed")
+		adjustK  = flag.Int("adjust", 3, "adjust the graph to tolerate this cardinality")
+		objects  = flag.Int("objects", 10, "objects to store")
+		size     = flag.Int("size", 50000, "bytes per object")
+		block    = flag.Int("block", 4096, "stripe block size")
+		failN    = flag.Int("fail", 4, "devices to fail mid-scenario")
+		maidOn   = flag.Bool("maid", false, "run on a power-managed MAID shelf")
+		powerOn  = flag.Int("poweron", 48, "MAID power budget (max spinning drives)")
+		parallel = flag.Int("parallel", tornado.DefaultStreamParallelism,
+			"stripe pipeline width for streaming puts/gets")
 	)
 	flag.Parse()
 
@@ -81,6 +83,7 @@ func main() {
 	}
 
 	rng := rand.New(rand.NewPCG(*seed, 99))
+	par := tornado.WithStreamParallelism(*parallel)
 	payloads := map[string][]byte{}
 	for i := 0; i < *objects; i++ {
 		name := fmt.Sprintf("object-%03d", i)
@@ -88,7 +91,7 @@ func main() {
 		for j := range data {
 			data[j] = byte(rng.IntN(256))
 		}
-		if err := store.Put(name, data); err != nil {
+		if _, err := store.PutStream(ctx, name, bytes.NewReader(data), par); err != nil {
 			log.Fatal(err)
 		}
 		payloads[name] = data
@@ -104,12 +107,14 @@ func main() {
 	log.Printf("failed devices: %v", failed)
 
 	var totalAccessed, gets int
+	var got bytes.Buffer
 	for name, want := range payloads {
-		got, stats, err := store.Get(name)
+		got.Reset()
+		_, stats, err := store.GetStream(ctx, name, &got, par)
 		if err != nil {
 			log.Fatalf("get %s after failures: %v", name, err)
 		}
-		if !bytes.Equal(got, want) {
+		if !bytes.Equal(got.Bytes(), want) {
 			log.Fatalf("get %s: payload corrupted", name)
 		}
 		totalAccessed += stats.DevicesAccessed

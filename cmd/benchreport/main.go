@@ -126,6 +126,7 @@ func run(name string, patternsPerOp int64, steady bool, fn func(b *testing.B)) r
 func main() {
 	out := flag.String("o", "BENCH_decode.json", "report output path")
 	defectOut := flag.String("defect-o", "BENCH_defect.json", "defect-scan report output path")
+	serveOut := flag.String("serve-o", "BENCH_serve.json", "serve-layer report output path")
 	check := flag.Bool("check", false, "exit nonzero if a steady-state kernel benchmark allocates")
 	flag.Parse()
 
@@ -191,14 +192,31 @@ func main() {
 		drep.DefectScanSpeedup, defectScanMaxSize)
 	writeJSON(*defectOut, drep)
 
+	// The serve-layer report: the Zipf load generator over a chaos backend
+	// with a concurrent scrub, plus the data-path steady-state benchmarks.
+	srep := serveSection(g)
+	writeJSON(*serveOut, srep)
+
 	if *check {
 		failed := false
-		for _, r := range append(append([]result(nil), rep.Benchmarks...), drep.Benchmarks...) {
+		all := append(append([]result(nil), rep.Benchmarks...), drep.Benchmarks...)
+		all = append(all, srep.Benchmarks...)
+		for _, r := range all {
 			if r.SteadyState && r.AllocsPerOp > 0 {
 				fmt.Fprintf(os.Stderr, "benchreport: %s allocates %d/op; steady-state kernel paths must be allocation-free\n",
 					r.Name, r.AllocsPerOp)
 				failed = true
 			}
+		}
+		if srep.Corrupted != 0 {
+			fmt.Fprintf(os.Stderr, "benchreport: serve load returned %d silently corrupt payloads; the archive invariant is bit-exact-or-error\n",
+				srep.Corrupted)
+			failed = true
+		}
+		if srep.StreamAllocsPerStripe > srep.StreamAllocBudgetPerStripe {
+			fmt.Fprintf(os.Stderr, "benchreport: stream stripe loop allocates %.2f/stripe, over the backend-contract budget of %.0f (one key string per node + one caller-owned read copy per block); the archive layer must add no per-stripe allocation of its own\n",
+				srep.StreamAllocsPerStripe, srep.StreamAllocBudgetPerStripe)
+			failed = true
 		}
 		if failed {
 			os.Exit(1)

@@ -1,0 +1,226 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"tornado/internal/archive"
+	"tornado/internal/chaos"
+	"tornado/internal/codec"
+	"tornado/internal/device"
+	"tornado/internal/graph"
+	"tornado/internal/obs"
+	"tornado/internal/serve"
+	"tornado/internal/workload"
+)
+
+// serveReport is the BENCH_serve.json payload: the serving layer measured
+// under the Zipf load generator with a chaos backend and a concurrent
+// repair scrub underneath, plus the data-path steady-state benchmarks the
+// -check gate guards.
+type serveReport struct {
+	GeneratedUnix int64  `json:"generated_unix"`
+	GoVersion     string `json:"go_version"`
+	Graph         string `json:"graph"`
+	Nodes         int    `json:"nodes"`
+	DataNodes     int    `json:"data_nodes"`
+
+	// Load-generator shape.
+	Workers      int     `json:"workers"`
+	Objects      int     `json:"objects"`
+	ObjectSize   int     `json:"object_size"`
+	Ops          int     `json:"ops"`
+	ReadFraction float64 `json:"read_fraction"`
+	ZipfS        float64 `json:"zipf_s"`
+
+	// Load-generator results. Corrupted is the bit-exact-or-error
+	// invariant under chaos + concurrent scrub: it must be zero (-check).
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	Gets         int     `json:"gets"`
+	Puts         int     `json:"puts"`
+	Errors       int     `json:"errors"`
+	Corrupted    int     `json:"corrupted"`
+	BytesRead    int64   `json:"bytes_read"`
+	BytesWritten int64   `json:"bytes_written"`
+	RepairBytes  int64   `json:"repair_bytes"` // bytes moved by read-repair
+	GetP50Ns     int64   `json:"get_p50_ns"`
+	GetP99Ns     int64   `json:"get_p99_ns"`
+	GetP999Ns    int64   `json:"get_p999_ns"`
+	PutP50Ns     int64   `json:"put_p50_ns"`
+	PutP99Ns     int64   `json:"put_p99_ns"`
+	PutP999Ns    int64   `json:"put_p999_ns"`
+
+	Benchmarks []result `json:"benchmarks"`
+	// StreamStripes is the object length (in stripes) of the stream loop
+	// benchmark; StreamAllocsPerStripe is its allocs/op divided by that.
+	// The Backend contract makes some per-stripe allocation irreducible:
+	// each stripe materializes one key string per node (backends retain
+	// keys in their maps, so the store cannot alias a reused buffer) and
+	// Read hands back a caller-owned copy per block (the device owns its
+	// buffer). StreamAllocBudgetPerStripe is that contract ceiling —
+	// 2×nodes — and -check fails when the measured figure exceeds it,
+	// which catches any archive-layer work (planning, decode, framing)
+	// re-growing per-stripe allocations. The planner regression this gate
+	// was built against measured 869 allocs/stripe; the contract floor on
+	// the 96-node graph is ~144.
+	StreamStripes              int     `json:"stream_stripes"`
+	StreamAllocsPerStripe      float64 `json:"stream_allocs_per_stripe"`
+	StreamAllocBudgetPerStripe float64 `json:"stream_alloc_budget_per_stripe"`
+}
+
+// serveSection measures the serving layer and returns its report. The
+// caller applies the -check gates.
+func serveSection(g *graph.Graph) serveReport {
+	rep := serveReport{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		Graph:         "core.Generate(DefaultParams, PCG(2006,0))",
+		Nodes:         g.Total,
+		DataNodes:     g.Data,
+		Workers:       8,
+		Objects:       32,
+		ObjectSize:    8192,
+		Ops:           600,
+		ReadFraction:  0.9,
+		ZipfS:         1.1,
+	}
+
+	// The measured stack: chaos-injected backend, one store, the serving
+	// layer with its cache, and a repair scrub running concurrently — the
+	// archival steady state the paper's stewarding system lives in.
+	reg := obs.NewRegistry()
+	inj := chaos.Wrap(archive.NewArrayBackend(device.NewArray(g.Total)), chaos.Config{
+		Seed:            2006,
+		BitFlipRate:     0.001,
+		ReadCorruptRate: 0.001,
+		ReadErrRate:     0.004,
+		WriteErrRate:    0.002,
+		Metrics:         reg,
+	})
+	st, err := archive.NewWithBackend(g, inj, archive.Config{BlockSize: 64, Metrics: reg})
+	if err != nil {
+		fatal(err)
+	}
+	svc, err := serve.New([]*archive.Store{st}, serve.Config{CacheBytes: 1 << 20})
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx := context.Background()
+	scrubCtx, stopScrub := context.WithCancel(ctx)
+	scrubDone := make(chan struct{})
+	go func() {
+		defer close(scrubDone)
+		for scrubCtx.Err() == nil {
+			_, _ = st.ScrubCtx(scrubCtx, true)
+		}
+	}()
+	res, err := workload.RunLoad(ctx, svc, workload.LoadSpec{
+		Tenants:      []string{"bench-a", "bench-b"},
+		Objects:      rep.Objects,
+		ObjectSize:   rep.ObjectSize,
+		Ops:          rep.Ops,
+		Workers:      rep.Workers,
+		ReadFraction: rep.ReadFraction,
+		ZipfS:        rep.ZipfS,
+		Seed:         2006,
+	})
+	stopScrub()
+	<-scrubDone
+	if err != nil {
+		fatal(err)
+	}
+
+	rep.OpsPerSec = res.OpsPerSec
+	rep.Gets, rep.Puts = res.Gets, res.Puts
+	rep.Errors, rep.Corrupted = res.Errors, res.Corrupted
+	rep.BytesRead, rep.BytesWritten = res.BytesRead, res.BytesWritten
+	rep.RepairBytes = res.RepairBytes
+	rep.GetP50Ns, rep.GetP99Ns, rep.GetP999Ns = int64(res.GetP50), int64(res.GetP99), int64(res.GetP999)
+	rep.PutP50Ns, rep.PutP99Ns, rep.PutP999Ns = int64(res.PutP50), int64(res.PutP99), int64(res.PutP999)
+	fmt.Printf("serve load: %.0f ops/sec, get p50/p99/p999 %v/%v/%v, %d errors, %d corrupted, %d repair bytes\n",
+		res.OpsPerSec, res.GetP50, res.GetP99, res.GetP999, res.Errors, res.Corrupted, res.RepairBytes)
+
+	// Data-path steady-state benchmarks.
+	const streamStripes = 64
+	rep.StreamStripes = streamStripes
+	rep.Benchmarks = append(rep.Benchmarks,
+		run("encode_hot_loop", 1, true, func(b *testing.B) { benchEncodeHotLoop(b, g) }),
+		run("stream_get_loop", streamStripes, false, func(b *testing.B) { benchStreamGetLoop(b, g, streamStripes) }),
+	)
+	rep.StreamAllocBudgetPerStripe = float64(2 * g.Total)
+	for _, r := range rep.Benchmarks {
+		if r.Name == "stream_get_loop" {
+			rep.StreamAllocsPerStripe = float64(r.AllocsPerOp) / float64(streamStripes)
+		}
+	}
+	fmt.Printf("stream stripe loop: %.3f allocs/stripe over a %d-stripe object (backend-contract budget %.0f)\n",
+		rep.StreamAllocsPerStripe, streamStripes, rep.StreamAllocBudgetPerStripe)
+	return rep
+}
+
+// benchEncodeHotLoop is the arena Encoder on a full stripe — the ingest
+// hot loop. Steady state must not allocate (-check).
+func benchEncodeHotLoop(b *testing.B, g *graph.Graph) {
+	c, err := codec.New(g, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := c.NewEncoder()
+	payload := make([]byte, c.Capacity())
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := range payload {
+		payload[i] = byte(rng.IntN(256))
+	}
+	if _, err := enc.Encode(payload); err != nil { // warm the arena
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.Encode(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchStreamGetLoop reads one multi-stripe object per op through the
+// sequential GetStream path into io.Discard. ns divides per stripe; the
+// allocs/op stay whole-call so the report can prove they do not scale with
+// the stripe count.
+func benchStreamGetLoop(b *testing.B, g *graph.Graph, stripes int) {
+	st, err := archive.New(g, device.NewArray(g.Total), archive.Config{BlockSize: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, stripes*st.Layout().StripeCapacity)
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := range payload {
+		payload[i] = byte(rng.IntN(256))
+	}
+	ctx := context.Background()
+	if err := st.Put("bench", payload); err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := st.GetStream(ctx, "bench", io.Discard, archive.WithParallelism(1)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := st.GetStream(ctx, "bench", io.Discard, archive.WithParallelism(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchreport:", err)
+	os.Exit(1)
+}

@@ -16,10 +16,12 @@
 package archive
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -234,11 +236,14 @@ func (s *Store) putFailureLimit() int {
 // discardBlocks best-effort deletes the first `stripes` stripes of an
 // object — the rollback half of a refused Put. Going through the backend
 // (not just the metadata map) matters: a torn write may have silently
-// persisted a corrupt prefix that no scrub would ever visit again.
-func (s *Store) discardBlocks(name string, stripes int) {
+// persisted a corrupt prefix that no scrub would ever visit again. The
+// rollback runs detached from the caller's context: a cancelled Put must
+// still clean up after itself.
+func (s *Store) discardBlocks(ctx context.Context, name string, stripes int) {
+	ctx = context.WithoutCancel(ctx)
 	for st := 0; st < stripes; st++ {
 		for node := 0; node < s.g.Total; node++ {
-			_ = s.backend.Delete(node, blockKey(name, st, node))
+			_ = s.backend.Delete(ctx, node, blockKey(name, st, node))
 		}
 	}
 }
@@ -365,13 +370,32 @@ func (s *Store) noteScrubPass(pass scrubPass) {
 	s.gQuarNodes.Set(int64(n))
 }
 
+// sleepCtx waits for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 // readFramed reads a framed block, retrying transient backend errors with
-// bounded exponential backoff. Any other error (failed device, missing
-// block) returns immediately — the caller treats the block as an erasure.
-func (s *Store) readFramed(node int, key string, stats *GetStats) ([]byte, error) {
+// bounded exponential backoff. Cancellation is honored between attempts and
+// during backoff sleeps. Any other error (failed device, missing block)
+// returns immediately — the caller treats the block as an erasure.
+func (s *Store) readFramed(ctx context.Context, node int, key string, stats *GetStats) ([]byte, error) {
 	backoff := s.cfg.RetryBackoff
 	for attempt := 0; ; attempt++ {
-		framed, err := s.backend.Read(node, key)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		framed, err := s.backend.Read(ctx, node, key)
 		if err == nil || !errors.Is(err, ErrTransient) {
 			return framed, err
 		}
@@ -382,21 +406,36 @@ func (s *Store) readFramed(node int, key string, stats *GetStats) ([]byte, error
 		if stats != nil {
 			stats.Retries++
 		}
-		if backoff > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
+		if err := sleepCtx(ctx, backoff); err != nil {
+			return nil, err
 		}
+		backoff *= 2
 	}
 }
 
 // writeFramed frames and writes a payload, retrying transient errors with
 // the same bounded backoff as reads. frameBlock copies the payload, so
 // callers may pass buffers that alias read frames (see unframeBlock).
-func (s *Store) writeFramed(node int, key string, payload []byte) error {
-	framed := frameBlock(payload)
+func (s *Store) writeFramed(ctx context.Context, node int, key string, payload []byte) error {
+	return s.writeFrame(ctx, node, key, frameBlock(payload))
+}
+
+// writeFramedBuf is writeFramed through a caller-owned frame buffer — the
+// streaming put path's allocation-free variant (the Backend contract lets
+// the buffer be reused once Write returns). The possibly-grown buffer is
+// returned for reuse.
+func (s *Store) writeFramedBuf(ctx context.Context, node int, key string, payload, buf []byte) ([]byte, error) {
+	buf = frameAppend(buf, payload)
+	return buf, s.writeFrame(ctx, node, key, buf)
+}
+
+func (s *Store) writeFrame(ctx context.Context, node int, key string, framed []byte) error {
 	backoff := s.cfg.RetryBackoff
 	for attempt := 0; ; attempt++ {
-		err := s.backend.Write(node, key, framed)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := s.backend.Write(ctx, node, key, framed)
 		if err == nil || !errors.Is(err, ErrTransient) {
 			return err
 		}
@@ -404,10 +443,10 @@ func (s *Store) writeFramed(node int, key string, payload []byte) error {
 			return err
 		}
 		s.mWriteRetries.Inc()
-		if backoff > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
+		if err := sleepCtx(ctx, backoff); err != nil {
+			return err
 		}
+		backoff *= 2
 	}
 }
 
@@ -424,48 +463,156 @@ func blockKey(name string, stripe, node int) string {
 	return fmt.Sprintf("%s/%d/%d", name, stripe, node)
 }
 
-// Put encodes and stores an object. The transactional archival interface
-// takes whole objects; there are no partial updates (paper §2.2). Devices
-// that are unavailable at write time simply miss their block — exactly the
-// redundancy the code is there to absorb.
-func (s *Store) Put(name string, data []byte) error {
-	s.mu.Lock()
-	if _, ok := s.objects[name]; ok {
-		s.mu.Unlock()
-		return fmt.Errorf("%w: %q", ErrExists, name)
-	}
-	// Reserve the name while encoding.
-	obj := &Object{Name: name, Size: len(data)}
-	s.objects[name] = obj
-	s.mu.Unlock()
+// keyBuf builds block keys ("name/stripe/node") through one reusable byte
+// buffer: the stripe prefix is laid down once per stripe and node suffixes
+// appended per block, so a key costs one small string allocation instead of
+// a fmt.Sprintf parse. One keyBuf serves one goroutine.
+type keyBuf struct {
+	buf    []byte
+	prefix int // length of the "name/stripe/" prefix
+}
 
+// stripe sets the buffer's prefix for one object stripe.
+func (k *keyBuf) stripe(name string, st int) {
+	k.buf = append(k.buf[:0], name...)
+	k.buf = append(k.buf, '/')
+	k.buf = strconv.AppendInt(k.buf, int64(st), 10)
+	k.buf = append(k.buf, '/')
+	k.prefix = len(k.buf)
+}
+
+// key returns the key for node under the current stripe prefix.
+func (k *keyBuf) key(node int) string {
+	k.buf = strconv.AppendInt(k.buf[:k.prefix], int64(node), 10)
+	return string(k.buf)
+}
+
+// stripeScratch is the reusable per-goroutine workspace of the stripe data
+// path: block pointers, availability masks, the codec repair workspace, and
+// the frame/key buffers. One scratch serves one goroutine; the streaming
+// paths keep one per worker so a many-stripe Put/Get allocates its working
+// set once.
+type stripeScratch struct {
+	blocks   [][]byte
+	avail    []bool
+	corrupt  []bool
+	fromRead []bool // blocks[i] came from a backend read (not reconstruction)
+	toRead   []int
+	ws       *codec.Workspace
+	enc      *codec.Encoder
+	planner  *retrieval.Planner // reused: planning a stripe allocates nothing
+	planCost retrieval.CostFunc // bound once; a per-call method value allocates
+	keyStrs  []string           // this stripe's block keys, built once per node
+	payload  []byte             // decode output buffer (grown to stripe capacity)
+	frameBuf []byte
+	keys     keyBuf
+	touched  map[int]bool
+}
+
+// newScratch returns a stripe workspace sized for the store's graph. The
+// encoder and planner are created lazily (get-only scratches never pay for
+// an encoder; put-only scratches never pay for a planner kernel).
+func (s *Store) newScratch() *stripeScratch {
+	return &stripeScratch{
+		blocks:   make([][]byte, s.g.Total),
+		avail:    make([]bool, s.g.Total),
+		corrupt:  make([]bool, s.g.Total),
+		fromRead: make([]bool, s.g.Total),
+		keyStrs:  make([]string, s.g.Total),
+		ws:       s.codec.NewWorkspace(),
+		touched:  map[int]bool{},
+	}
+}
+
+// plan returns the scratch's reusable stripe planner.
+func (sc *stripeScratch) plan(s *Store) (*retrieval.Planner, retrieval.CostFunc) {
+	if sc.planner == nil {
+		sc.planner = retrieval.NewPlanner(s.g)
+		sc.planCost = s.planCost
+	}
+	return sc.planner, sc.planCost
+}
+
+func (sc *stripeScratch) encoder(s *Store) *codec.Encoder {
+	if sc.enc == nil {
+		sc.enc = s.codec.NewEncoder()
+	}
+	return sc.enc
+}
+
+// reserve claims name in the object map, returning the metadata record the
+// caller finalizes (or rolls back) later.
+func (s *Store) reserve(name string, size int) (*Object, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objects[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	obj := &Object{Name: name, Size: size}
+	s.objects[name] = obj
+	return obj, nil
+}
+
+// putStripe encodes one stripe payload and writes its blocks, returning
+// the number of failed block writes. Devices that are unavailable at write
+// time simply miss their block — exactly the redundancy the code is there
+// to absorb. Blocks are stored framed with a CRC-32C so bit rot is
+// detected on read; transient write faults are retried with bounded
+// backoff. A ctx error aborts immediately.
+func (s *Store) putStripe(ctx context.Context, name string, st int, payload []byte, sc *stripeScratch) (int, error) {
+	blocks, err := sc.encoder(s).Encode(payload)
+	if err != nil {
+		return 0, err
+	}
+	sc.keys.stripe(name, st)
+	failed := 0
+	for node, b := range blocks {
+		if err := ctx.Err(); err != nil {
+			return failed, err
+		}
+		var werr error
+		sc.frameBuf, werr = s.writeFramedBuf(ctx, node, sc.keys.key(node), b, sc.frameBuf)
+		if werr != nil {
+			if errIsCtx(werr) {
+				return failed, werr
+			}
+			failed++
+		}
+	}
+	if lim := s.putFailureLimit(); lim >= 0 && failed > lim {
+		return failed, fmt.Errorf("%w: %q stripe %d lost %d of %d block writes",
+			ErrDegraded, name, st, failed, len(blocks))
+	}
+	return failed, nil
+}
+
+// Put encodes and stores an object. The transactional archival interface
+// takes whole objects; there are no partial updates (paper §2.2).
+func (s *Store) Put(name string, data []byte) error {
+	return s.PutCtx(context.Background(), name, data)
+}
+
+// PutCtx is Put with cancellation: the write checks ctx between blocks and
+// during retry backoff, and a cancelled Put rolls its partial object back
+// (the rollback itself is not cancellable).
+func (s *Store) PutCtx(ctx context.Context, name string, data []byte) error {
+	obj, err := s.reserve(name, len(data))
+	if err != nil {
+		return err
+	}
 	cap := s.codec.Capacity()
 	stripes := (len(data) + cap - 1) / cap
 	if stripes == 0 {
 		stripes = 1
 	}
+	sc := s.newScratch()
 	for st := 0; st < stripes; st++ {
 		lo := st * cap
 		hi := min(lo+cap, len(data))
-		blocks, err := s.codec.Encode(data[lo:hi])
-		if err != nil {
+		if _, err := s.putStripe(ctx, name, st, data[lo:hi], sc); err != nil {
+			s.discardBlocks(ctx, name, st+1)
 			s.deleteObject(name)
 			return err
-		}
-		failed := 0
-		for node, b := range blocks {
-			// Unavailable devices lose their block; the stripe's parity
-			// absorbs it. Blocks are stored framed with a CRC-32C so bit
-			// rot is detected on read; transient write faults are retried.
-			if err := s.writeFramed(node, blockKey(name, st, node), b); err != nil {
-				failed++
-			}
-		}
-		if lim := s.putFailureLimit(); lim >= 0 && failed > lim {
-			s.discardBlocks(name, st+1)
-			s.deleteObject(name)
-			return fmt.Errorf("%w: %q stripe %d lost %d of %d block writes",
-				ErrDegraded, name, st, failed, len(blocks))
 		}
 	}
 	s.mu.Lock()
@@ -476,105 +623,174 @@ func (s *Store) Put(name string, data []byte) error {
 
 // Get retrieves an object, reconstructing around unavailable devices.
 func (s *Store) Get(name string) ([]byte, GetStats, error) {
-	s.mu.Lock()
-	obj, ok := s.objects[name]
-	var size, stripes int
-	if ok {
-		size, stripes = obj.Size, obj.Stripes
-	}
-	s.mu.Unlock()
-	var stats GetStats
-	if !ok || (stripes == 0 && size > 0) {
-		// Unknown, or a Put still in flight (stripes not finalized).
-		return nil, stats, fmt.Errorf("%w: %q", ErrNotFound, name)
-	}
+	return s.GetCtx(context.Background(), name)
+}
 
+// GetCtx is Get with cancellation: ctx is checked between stripes, between
+// blocks, and during retry backoff, so a cancelled Get returns promptly
+// mid-object instead of finishing the remaining stripes.
+func (s *Store) GetCtx(ctx context.Context, name string) ([]byte, GetStats, error) {
+	size, stripes, err := s.lookup(name)
+	var stats GetStats
+	if err != nil {
+		return nil, stats, err
+	}
 	out := make([]byte, 0, size)
 	cap := s.codec.Capacity()
-	touched := map[int]bool{}
+	sc := s.newScratch()
 	for st := 0; st < stripes; st++ {
-		want := size - st*cap
-		if want > cap {
-			want = cap
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
 		}
-		payload, err := s.getStripe(name, st, want, touched, &stats)
+		want := min(size-st*cap, cap)
+		payload, err := s.getStripe(ctx, name, st, want, sc, &stats)
 		if err != nil {
 			return nil, stats, err
 		}
 		out = append(out, payload...)
 	}
-	stats.DevicesAccessed = len(touched)
+	stats.DevicesAccessed = len(sc.touched)
 	return out, stats, nil
 }
 
-func (s *Store) getStripe(name string, st, payloadLen int, touched map[int]bool, stats *GetStats) ([]byte, error) {
-	avail := make([]bool, s.g.Total)
-	for node := range avail {
-		avail[node] = !s.isQuarantined(node) && s.backend.Available(node, blockKey(name, st, node))
+// lookup resolves an object's size and stripe count, reporting ErrNotFound
+// for unknown names and Puts still in flight (stripes not finalized).
+func (s *Store) lookup(name string) (size, stripes int, err error) {
+	s.mu.Lock()
+	obj, ok := s.objects[name]
+	if ok {
+		size, stripes = obj.Size, obj.Stripes
+	}
+	s.mu.Unlock()
+	if !ok || (stripes == 0 && size > 0) {
+		return 0, 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return size, stripes, nil
+}
+
+// ReadStripe retrieves one stripe's decoded payload — the serve layer's
+// cache-fill granularity. The returned slice is freshly allocated and owned
+// by the caller.
+func (s *Store) ReadStripe(ctx context.Context, name string, st int) ([]byte, GetStats, error) {
+	size, stripes, err := s.lookup(name)
+	var stats GetStats
+	if err != nil {
+		return nil, stats, err
+	}
+	if st < 0 || st >= stripes {
+		return nil, stats, fmt.Errorf("%w: %q stripe %d", ErrNotFound, name, st)
+	}
+	cap := s.codec.Capacity()
+	want := min(size-st*cap, cap)
+	sc := s.newScratch()
+	payload, err := s.getStripe(ctx, name, st, want, sc, &stats)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.DevicesAccessed = len(sc.touched)
+	return append([]byte(nil), payload...), stats, nil
+}
+
+// getStripe reconstructs one stripe into sc.payload and returns it; the
+// slice is valid only until the scratch's next use, so callers copy or
+// write it out before reusing sc.
+func (s *Store) getStripe(ctx context.Context, name string, st, payloadLen int, sc *stripeScratch, stats *GetStats) ([]byte, error) {
+	sc.keys.stripe(name, st)
+	for node := range sc.avail {
+		sc.keyStrs[node] = sc.keys.key(node)
+		sc.avail[node] = !s.isQuarantined(node) && s.backend.Available(node, sc.keyStrs[node])
+		sc.blocks[node] = nil
+		sc.corrupt[node] = false
+		sc.fromRead[node] = false
 	}
 
-	var toRead []int
+	toRead := sc.toRead[:0]
 	if !s.cfg.NaiveRetrieval {
-		plan, _, err := retrieval.Plan(s.g, avail, s.planCost)
+		planner, planCost := sc.plan(s)
+		plan, _, err := planner.Plan(sc.avail, planCost)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %q stripe %d: %v", ErrDataLoss, name, st, err)
 		}
 		toRead = plan
 	} else {
-		for node, ok := range avail {
+		for node, ok := range sc.avail {
 			if ok {
 				toRead = append(toRead, node)
 			}
 		}
+		sc.toRead = toRead
 	}
 
-	blocks := make([][]byte, s.g.Total)
 	// corrupt marks frames that failed their checksum during this read, so
 	// the fallback pass never re-reads (and never double-counts) them.
-	corrupt := make([]bool, s.g.Total)
+	var ctxErr error
 	readInto := func(node int) {
-		framed, err := s.readFramed(node, blockKey(name, st, node), stats)
+		if ctxErr != nil {
+			return
+		}
+		framed, err := s.readFramed(ctx, node, sc.keyStrs[node], stats)
 		if err != nil {
+			if errIsCtx(err) {
+				ctxErr = err
+			}
 			return // raced with a failure; the decoder will cope or report
 		}
-		touched[node] = true
+		sc.touched[node] = true
 		stats.BlocksRead++
 		// unframeBlock's payload aliases framed; the alias lives only in
-		// blocks[node], which is read (never mutated) by the codec and
-		// copied by frameBlock before any write-back.
+		// sc.blocks[node], which is read (never mutated) by the codec and
+		// copied by the frame layer before any write-back.
 		b, ok := unframeBlock(framed)
 		if !ok {
 			stats.CorruptBlocks++ // bit rot: treat as an erasure
-			corrupt[node] = true
+			sc.corrupt[node] = true
 			s.noteCorrupt(node)
 			return
 		}
-		blocks[node] = b
+		sc.blocks[node] = b
+		sc.fromRead[node] = true
 	}
 	for _, node := range toRead {
 		readInto(node)
 	}
-	payload, err := s.codec.Decode(blocks, payloadLen)
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	if cap(sc.payload) < s.codec.Capacity() {
+		sc.payload = make([]byte, 0, s.codec.Capacity())
+	}
+	payload, err := s.codec.DecodeInto(sc.ws, sc.payload[:0], sc.blocks, payloadLen)
 	if errors.Is(err, codec.ErrUnrecoverable) && !s.cfg.NaiveRetrieval {
 		// The plan raced with failures; fall back to everything reachable
-		// that has not already been read or detected corrupt.
-		for node, ok := range avail {
-			if ok && blocks[node] == nil && !corrupt[node] {
+		// that has not already been read or detected corrupt. Blocks the
+		// failed peel reconstructed alias the workspace arena, which the
+		// retry's RepairWith recycles — drop them so the retry peels only
+		// from blocks whose memory it does not own.
+		for node := range sc.blocks {
+			if !sc.fromRead[node] {
+				sc.blocks[node] = nil
+			}
+		}
+		for node, ok := range sc.avail {
+			if ok && sc.blocks[node] == nil && !sc.corrupt[node] {
 				readInto(node)
 			}
 		}
-		payload, err = s.codec.Decode(blocks, payloadLen)
+		if ctxErr != nil {
+			return nil, ctxErr
+		}
+		payload, err = s.codec.DecodeInto(sc.ws, sc.payload[:0], sc.blocks, payloadLen)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("%w: %q stripe %d: %v", ErrDataLoss, name, st, err)
 	}
 	for node := 0; node < s.g.Data; node++ {
-		if !avail[node] {
+		if !sc.avail[node] {
 			stats.BlocksRepaired++
 		}
 	}
 	if !s.cfg.DisableReadRepair {
-		s.readRepairStripe(name, st, blocks, avail, corrupt, stats)
+		s.readRepairStripe(ctx, name, st, sc.blocks, sc.avail, sc.corrupt, stats)
 	}
 	return payload, nil
 }
@@ -586,7 +802,7 @@ func (s *Store) getStripe(name string, st, payloadLen int, touched map[int]bool,
 // Codec.Decode repaired blocks in place, so every recoverable block is
 // present. Unreachable and quarantined nodes are skipped; write errors are
 // ignored (the next scrub retries).
-func (s *Store) readRepairStripe(name string, st int, blocks [][]byte, avail, corrupt []bool, stats *GetStats) {
+func (s *Store) readRepairStripe(ctx context.Context, name string, st int, blocks [][]byte, avail, corrupt []bool, stats *GetStats) {
 	for node := range blocks {
 		if blocks[node] == nil || (avail[node] && !corrupt[node]) {
 			continue // nothing reconstructed, or the stored frame is fine
@@ -596,7 +812,7 @@ func (s *Store) readRepairStripe(name string, st int, blocks [][]byte, avail, co
 		}
 		// writeFramed copies blocks[node] (which may alias a read frame)
 		// into a fresh framed buffer before the backend sees it.
-		if err := s.writeFramed(node, blockKey(name, st, node), blocks[node]); err == nil {
+		if err := s.writeFramed(ctx, node, blockKey(name, st, node), blocks[node]); err == nil {
 			s.mReadRepairs.Inc()
 			if stats != nil {
 				stats.ReadRepairs++
@@ -607,6 +823,11 @@ func (s *Store) readRepairStripe(name string, st int, blocks [][]byte, avail, co
 
 // Delete removes an object and its blocks from all reachable devices.
 func (s *Store) Delete(name string) error {
+	return s.DeleteCtx(context.Background(), name)
+}
+
+// DeleteCtx is Delete with cancellation between block deletions.
+func (s *Store) DeleteCtx(ctx context.Context, name string) error {
 	s.mu.Lock()
 	obj, ok := s.objects[name]
 	var stripes int
@@ -618,8 +839,11 @@ func (s *Store) Delete(name string) error {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	for st := 0; st < stripes; st++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for node := 0; node < s.g.Total; node++ {
-			_ = s.backend.Delete(node, blockKey(name, st, node))
+			_ = s.backend.Delete(ctx, node, blockKey(name, st, node))
 		}
 	}
 	s.deleteObject(name)

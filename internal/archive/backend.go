@@ -1,6 +1,7 @@
 package archive
 
 import (
+	"context"
 	"math"
 
 	"tornado/internal/device"
@@ -10,10 +11,19 @@ import (
 // array, a power-managed MAID shelf that spins drives up on demand, or a
 // fault-injecting wrapper over either (tornado/internal/chaos).
 //
+// The data-plane methods (Read, Write, Delete) are context-first: the
+// store plumbs the caller's context from Put/Get/Scrub all the way down,
+// so a backend backed by a network or a spin-up queue can honor deadlines
+// and cancellation. In-memory backends may ignore ctx entirely — the store
+// itself checks it between blocks and during retry backoff, so cancellation
+// is honored promptly either way.
+//
 // Error semantics: a backend that can fail transiently (network blip,
 // injected fault) wraps those errors with ErrTransient; the store retries
-// them with bounded backoff. Any other error is treated as a missing
-// block, to be reconstructed from parity.
+// them with bounded backoff. A ctx error must be returned as (or wrapped
+// around) ctx.Err() so the store can distinguish cancellation from damage.
+// Any other error is treated as a missing block, to be reconstructed from
+// parity.
 type Backend interface {
 	// Nodes returns the device count (one per graph node).
 	Nodes() int
@@ -25,12 +35,13 @@ type Backend interface {
 	// returned slice is owned by the caller: the backend must not reuse
 	// or mutate its backing array after returning (unframeBlock hands out
 	// payloads that alias it).
-	Read(node int, key string) ([]byte, error)
+	Read(ctx context.Context, node int, key string) ([]byte, error)
 	// Write stores a block, performing any power management needed. The
-	// backend must not retain data after returning.
-	Write(node int, key string, data []byte) error
+	// backend must not retain data after returning (callers reuse their
+	// frame buffers).
+	Write(ctx context.Context, node int, key string, data []byte) error
 	// Delete removes a block; deleting a missing block is a no-op.
-	Delete(node int, key string) error
+	Delete(ctx context.Context, node int, key string) error
 	// Cost prices reading node for retrieval planning (e.g. spun-down
 	// drives cost a spin-up). Unreachable nodes return +Inf.
 	Cost(node int) float64
@@ -50,15 +61,15 @@ func (a arrayBackend) Available(node int, key string) bool {
 	return a.devs[node].State() == device.Online && a.devs[node].Has(key)
 }
 
-func (a arrayBackend) Read(node int, key string) ([]byte, error) {
+func (a arrayBackend) Read(_ context.Context, node int, key string) ([]byte, error) {
 	return a.devs[node].Read(key)
 }
 
-func (a arrayBackend) Write(node int, key string, data []byte) error {
+func (a arrayBackend) Write(_ context.Context, node int, key string, data []byte) error {
 	return a.devs[node].Write(key, data)
 }
 
-func (a arrayBackend) Delete(node int, key string) error {
+func (a arrayBackend) Delete(_ context.Context, node int, key string) error {
 	return a.devs[node].Delete(key)
 }
 

@@ -1,0 +1,67 @@
+package archive
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math/rand/v2"
+	"testing"
+
+	"tornado/internal/core"
+	"tornado/internal/device"
+)
+
+func benchStore(b *testing.B) *Store {
+	b.Helper()
+	g, _, err := core.Generate(core.DefaultParams(), rand.New(rand.NewPCG(77, 1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(g, device.NewArray(g.Total), Config{BlockSize: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkGetStreamSequential is the streaming read stripe loop: one
+// 64-stripe object per op through the sequential path. Allocations must be
+// per-call setup, not per-stripe — benchreport gates allocs/stripe on this
+// same path.
+func BenchmarkGetStreamSequential(b *testing.B) {
+	s := benchStore(b)
+	const stripes = 64
+	data := payload(stripes*s.Layout().StripeCapacity, 1)
+	if err := s.Put("obj", data); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.GetStream(ctx, "obj", io.Discard, WithParallelism(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPutStreamSequential is the ingest stripe loop (object deleted
+// each op so the store stays empty).
+func BenchmarkPutStreamSequential(b *testing.B) {
+	s := benchStore(b)
+	const stripes = 16
+	data := payload(stripes*s.Layout().StripeCapacity, 2)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	r := bytes.NewReader(data)
+	for i := 0; i < b.N; i++ {
+		r.Reset(data)
+		if _, err := s.PutStream(ctx, "obj", r, WithParallelism(1)); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Delete("obj"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

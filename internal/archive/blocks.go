@@ -1,6 +1,9 @@
 package archive
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Stat returns an object's metadata.
 func (s *Store) Stat(name string) (Object, error) {
@@ -36,6 +39,12 @@ func (s *Store) Layout() StripeLayout {
 // exchange blocks between sites (§5.3). Corrupt blocks report ErrNotFound
 // (to a remote peer, a rotted block and a missing block are the same).
 func (s *Store) ReadBlock(name string, stripe, node int) ([]byte, error) {
+	return s.ReadBlockCtx(context.Background(), name, stripe, node)
+}
+
+// ReadBlockCtx is ReadBlock with cancellation plumbed through to the
+// backend read and its retry backoff.
+func (s *Store) ReadBlockCtx(ctx context.Context, name string, stripe, node int) ([]byte, error) {
 	obj, err := s.Stat(name)
 	if err != nil {
 		return nil, err
@@ -47,8 +56,11 @@ func (s *Store) ReadBlock(name string, stripe, node int) ([]byte, error) {
 	if !s.backend.Available(node, key) {
 		return nil, fmt.Errorf("%w: %q stripe %d node %d", ErrNotFound, name, stripe, node)
 	}
-	framed, err := s.readFramed(node, key, nil)
+	framed, err := s.readFramed(ctx, node, key, nil)
 	if err != nil {
+		if errIsCtx(err) {
+			return nil, err
+		}
 		return nil, fmt.Errorf("%w: %q stripe %d node %d", ErrNotFound, name, stripe, node)
 	}
 	// The payload crosses an ownership boundary (HTTP response body, peer
@@ -66,6 +78,12 @@ func (s *Store) ReadBlock(name string, stripe, node int) ([]byte, error) {
 // checksum. It is the restore path of the federated exchange: a recovered
 // block is written back to its home device.
 func (s *Store) WriteBlock(name string, stripe, node int, payload []byte) error {
+	return s.WriteBlockCtx(context.Background(), name, stripe, node, payload)
+}
+
+// WriteBlockCtx is WriteBlock with cancellation plumbed through to the
+// backend write and its retry backoff.
+func (s *Store) WriteBlockCtx(ctx context.Context, name string, stripe, node int, payload []byte) error {
 	obj, err := s.Stat(name)
 	if err != nil {
 		return err
@@ -76,7 +94,7 @@ func (s *Store) WriteBlock(name string, stripe, node int, payload []byte) error 
 	if len(payload) != s.cfg.BlockSize {
 		return fmt.Errorf("archive: block size %d, want %d", len(payload), s.cfg.BlockSize)
 	}
-	return s.writeFramed(node, blockKey(name, stripe, node), payload)
+	return s.writeFramed(ctx, node, blockKey(name, stripe, node), payload)
 }
 
 // PutShell registers an object's metadata without writing any blocks —

@@ -26,6 +26,17 @@ func frameBlock(payload []byte) []byte {
 	return out
 }
 
+// frameAppend frames payload into buf (reusing its capacity, truncating
+// its length) and returns the frame. It is frameBlock for hot loops: the
+// streaming put path frames every block of every stripe through one
+// per-worker buffer, relying on the Backend contract that Write does not
+// retain the slice after returning.
+func frameAppend(buf []byte, payload []byte) []byte {
+	buf = append(buf[:0], 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(buf, frameSum(payload))
+	return append(buf, payload...)
+}
+
 // frameSum is CRC-32C over the payload's length followed by its bytes. The
 // length prefix closes a truncation blind spot of the bare CRC: a CRC does
 // not encode length, and in the degenerate register state (checksum
@@ -33,10 +44,18 @@ func frameBlock(payload []byte) []byte {
 // payload ended in zeros could be truncated without the checksum noticing
 // (e.g. payload ff ff ff ff 00 and its 1-byte truncation share checksum
 // ffffffff). With the length folded in, any truncation is a mismatch.
+// The length prefix is folded in with a table-driven loop rather than
+// crc32.Update over a stack buffer: Update leaks its slice parameter, so
+// the buffer would escape and the read hot loop would allocate per frame.
+// The loop computes the identical CRC over the same 8 big-endian bytes.
 func frameSum(payload []byte) uint32 {
-	var lenBuf [8]byte
-	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(payload)))
-	return crc32.Update(crc32.Update(0, castagnoli, lenBuf[:]), castagnoli, payload)
+	reg := ^uint32(0)
+	n := uint64(len(payload))
+	for shift := 56; shift >= 0; shift -= 8 {
+		b := byte(n >> uint(shift))
+		reg = castagnoli[byte(reg)^b] ^ (reg >> 8)
+	}
+	return crc32.Update(^reg, castagnoli, payload)
 }
 
 // unframeBlock verifies and strips the checksum, reporting ok=false for

@@ -17,8 +17,8 @@ func FuzzFrameRoundTrip(f *testing.F) {
 	f.Add([]byte{0x00})
 	f.Add([]byte{0xde, 0xad, 0xbe, 0xef})
 	f.Add(bytes.Repeat([]byte{0xa5}, 64))
-	f.Add([]byte{0, 0, 0, 0})    // frame-shaped: zero CRC, empty payload
-	f.Add([]byte{0, 0, 0})       // shorter than the checksum prefix
+	f.Add([]byte{0, 0, 0, 0}) // frame-shaped: zero CRC, empty payload
+	f.Add([]byte{0, 0, 0})    // shorter than the checksum prefix
 	f.Add(make([]byte, 4096+4))
 
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -1,133 +1,37 @@
 package archive
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
+	"bytes"
+	"context"
 )
 
 // PutParallel ingests an object with stripes encoded and written
-// concurrently — the throughput path for multi-core hosts (each stripe is
-// independent, so encoding parallelizes perfectly). Semantics match Put.
+// concurrently.
+//
+// Deprecated: use PutStream with WithParallelism, which bounds memory to
+// O(workers × stripe) and honors cancellation. PutParallel is a thin
+// wrapper over it.
 func (s *Store) PutParallel(name string, data []byte, workers int) error {
-	if workers <= 1 {
-		return s.Put(name, data)
+	if workers < 1 {
+		workers = 1 // historical semantics: non-positive meant sequential
 	}
-	s.mu.Lock()
-	if _, ok := s.objects[name]; ok {
-		s.mu.Unlock()
-		return fmt.Errorf("%w: %q", ErrExists, name)
-	}
-	obj := &Object{Name: name, Size: len(data)}
-	s.objects[name] = obj
-	s.mu.Unlock()
-
-	cap := s.codec.Capacity()
-	stripes := (len(data) + cap - 1) / cap
-	if stripes == 0 {
-		stripes = 1
-	}
-	if workers > runtime.GOMAXPROCS(0) {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	sem := make(chan struct{}, workers)
-	errs := make(chan error, stripes)
-	var wg sync.WaitGroup
-	for st := 0; st < stripes; st++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(st int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			lo := st * cap
-			hi := min(lo+cap, len(data))
-			blocks, err := s.codec.Encode(data[lo:hi])
-			if err != nil {
-				errs <- err
-				return
-			}
-			for node, b := range blocks {
-				_ = s.writeFramed(node, blockKey(name, st, node), b)
-			}
-		}(st)
-	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		s.deleteObject(name)
-		return err
-	}
-	s.mu.Lock()
-	obj.Stripes = stripes
-	s.mu.Unlock()
-	return nil
+	_, err := s.PutStream(context.Background(), name, bytes.NewReader(data), WithParallelism(workers))
+	return err
 }
 
 // GetParallel retrieves an object with stripes reconstructed concurrently.
-// Semantics match Get; stats are aggregated across stripes.
+//
+// Deprecated: use GetStream with WithParallelism, which streams stripes in
+// order with bounded memory and honors cancellation. GetParallel is a thin
+// wrapper over it.
 func (s *Store) GetParallel(name string, workers int) ([]byte, GetStats, error) {
-	if workers <= 1 {
-		return s.Get(name)
+	if workers < 1 {
+		workers = 1 // historical semantics: non-positive meant sequential
 	}
-	s.mu.Lock()
-	obj, ok := s.objects[name]
-	var size, stripes int
-	if ok {
-		size, stripes = obj.Size, obj.Stripes
+	var buf bytes.Buffer
+	_, stats, err := s.GetStream(context.Background(), name, &buf, WithParallelism(workers))
+	if err != nil {
+		return nil, stats, err
 	}
-	s.mu.Unlock()
-	var agg GetStats
-	if !ok || (stripes == 0 && size > 0) {
-		return nil, agg, fmt.Errorf("%w: %q", ErrNotFound, name)
-	}
-
-	if workers > runtime.GOMAXPROCS(0) {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	cap := s.codec.Capacity()
-	type result struct {
-		payload []byte
-		stats   GetStats
-		touched map[int]bool
-		err     error
-	}
-	results := make([]result, stripes)
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for st := 0; st < stripes; st++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(st int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			want := size - st*cap
-			if want > cap {
-				want = cap
-			}
-			touched := map[int]bool{}
-			var stats GetStats
-			payload, err := s.getStripe(name, st, want, touched, &stats)
-			results[st] = result{payload: payload, stats: stats, touched: touched, err: err}
-		}(st)
-	}
-	wg.Wait()
-
-	out := make([]byte, 0, size)
-	touched := map[int]bool{}
-	for _, r := range results {
-		if r.err != nil {
-			return nil, agg, r.err
-		}
-		out = append(out, r.payload...)
-		agg.BlocksRead += r.stats.BlocksRead
-		agg.BlocksRepaired += r.stats.BlocksRepaired
-		agg.CorruptBlocks += r.stats.CorruptBlocks
-		agg.ReadRepairs += r.stats.ReadRepairs
-		agg.Retries += r.stats.Retries
-		for v := range r.touched {
-			touched[v] = true
-		}
-	}
-	agg.DevicesAccessed = len(touched)
-	return out, agg, nil
+	return buf.Bytes(), stats, nil
 }

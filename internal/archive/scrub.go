@@ -24,8 +24,8 @@ type StripeHealth struct {
 type ScrubReport struct {
 	Stripes          []StripeHealth
 	BlocksRepaired   int
-	CorruptFrames    int   // frames that failed their checksum during the pass
-	AtRisk           int   // stripes with Margin <= 0 (when margin is enabled)
+	CorruptFrames    int // frames that failed their checksum during the pass
+	AtRisk           int // stripes with Margin <= 0 (when margin is enabled)
 	Unrecoverable    int
 	QuarantinedNodes []int // nodes quarantined at the end of the pass
 }
@@ -64,7 +64,7 @@ func (s *Store) ScrubCtx(ctx context.Context, repair bool) (ScrubReport, error) 
 			if err := ctx.Err(); err != nil {
 				return rep, err
 			}
-			h, err := s.scrubStripe(obj.Name, st, repair, &pass)
+			h, err := s.scrubStripe(ctx, obj.Name, st, repair, &pass)
 			if err != nil {
 				return rep, err
 			}
@@ -83,7 +83,7 @@ func (s *Store) ScrubCtx(ctx context.Context, repair bool) (ScrubReport, error) 
 			if err := ctx.Err(); err != nil {
 				return rep, err
 			}
-			h2, err := s.scrubStripe(h.Object, h.Stripe, repair, &pass)
+			h2, err := s.scrubStripe(ctx, h.Object, h.Stripe, repair, &pass)
 			if err != nil {
 				return rep, err
 			}
@@ -108,13 +108,18 @@ func (s *Store) ScrubCtx(ctx context.Context, repair bool) (ScrubReport, error) 
 	return rep, nil
 }
 
-func (s *Store) scrubStripe(name string, st int, repair bool, pass *scrubPass) (StripeHealth, error) {
+func (s *Store) scrubStripe(ctx context.Context, name string, st int, repair bool, pass *scrubPass) (StripeHealth, error) {
 	h := StripeHealth{Object: name, Stripe: st, Quarantined: s.Quarantined()}
 	blocks := make([][]byte, s.g.Total)
 	for node := 0; node < s.g.Total; node++ {
 		key := blockKey(name, st, node)
 		if s.backend.Available(node, key) {
-			framed, err := s.readFramed(node, key, nil)
+			framed, err := s.readFramed(ctx, node, key, nil)
+			if errIsCtx(err) {
+				// A cancelled read is not evidence of a missing block; abort
+				// the stripe so the pass reports ctx.Err(), not phantom damage.
+				return h, err
+			}
 			if err == nil {
 				// The payload aliases framed; it is only read by the codec
 				// and copied by frameBlock before any repair write.
@@ -154,7 +159,7 @@ func (s *Store) scrubStripe(name string, st int, repair bool, pass *scrubPass) (
 		}
 		// Quarantined nodes are repaired too: the rewrite is what heals
 		// at-rest damage, and the next pass's evidence decides readmission.
-		if werr := s.writeFramed(node, blockKey(name, st, node), blocks[node]); werr != nil {
+		if werr := s.writeFramed(ctx, node, blockKey(name, st, node), blocks[node]); werr != nil {
 			continue // home device still dead; the next scrub retries
 		}
 		h.Repaired = append(h.Repaired, node)

@@ -2,6 +2,7 @@ package archive
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"testing"
@@ -22,13 +23,13 @@ type midReadFailBackend struct {
 	tripped bool
 }
 
-func (b *midReadFailBackend) Read(node int, key string) ([]byte, error) {
+func (b *midReadFailBackend) Read(ctx context.Context, node int, key string) ([]byte, error) {
 	if b.armed && node == b.victim {
 		b.armed = false
 		b.tripped = true
 		b.devs[b.victim].Fail()
 	}
-	return b.Backend.Read(node, key)
+	return b.Backend.Read(ctx, node, key)
 }
 
 // TestGetMidReadDeviceFailure plants a device failure between the
@@ -97,12 +98,12 @@ type flakyBackend struct {
 	seen     int
 }
 
-func (b *flakyBackend) Read(node int, key string) ([]byte, error) {
+func (b *flakyBackend) Read(ctx context.Context, node int, key string) ([]byte, error) {
 	if node == b.node && b.seen < b.failures {
 		b.seen++
 		return nil, fmt.Errorf("flaky read of node %d: %w", node, ErrTransient)
 	}
-	return b.Backend.Read(node, key)
+	return b.Backend.Read(ctx, node, key)
 }
 
 // TestGetRetriesTransientErrors: a read that fails transiently within the

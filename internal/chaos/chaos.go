@@ -21,6 +21,7 @@
 package chaos
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -260,7 +261,7 @@ func (in *Injector) CorruptStored(node int, key string) error {
 	if in.outstanding[frameID{node, key}] {
 		return nil // already corrupt at rest; flipping again could revert it
 	}
-	framed, err := in.inner.Read(node, key)
+	framed, err := in.inner.Read(context.Background(), node, key)
 	if err != nil {
 		return fmt.Errorf("chaos: corrupt stored: %w", err)
 	}
@@ -269,7 +270,7 @@ func (in *Injector) CorruptStored(node int, key string) error {
 	}
 	bad := append([]byte(nil), framed...)
 	bad[0] ^= 0x80 // break the stored checksum deterministically
-	if err := in.inner.Write(node, key, bad); err != nil {
+	if err := in.inner.Write(context.Background(), node, key, bad); err != nil {
 		return fmt.Errorf("chaos: corrupt stored: %w", err)
 	}
 	in.injected[ClassBitFlip].Inc()
@@ -323,8 +324,13 @@ func (in *Injector) Cost(node int) float64 {
 	return in.inner.Cost(node)
 }
 
-// Read serves a block through the fault schedule.
-func (in *Injector) Read(node int, key string) ([]byte, error) {
+// Read serves a block through the fault schedule. The context is checked on
+// entry (a cancelled read consumes no randomness, keeping the schedule
+// deterministic under cancellation) and passed through to the inner backend.
+func (in *Injector) Read(ctx context.Context, node int, key string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.ops++
@@ -347,7 +353,7 @@ func (in *Injector) Read(node int, key string) ([]byte, error) {
 			return nil, fmt.Errorf("%w (read node %d)", ErrInjected, node)
 		}
 	}
-	framed, err := in.inner.Read(node, key)
+	framed, err := in.inner.Read(ctx, node, key)
 	if err != nil {
 		return framed, err
 	}
@@ -364,7 +370,7 @@ func (in *Injector) Read(node int, key string) ([]byte, error) {
 			// it as in-flight corruption instead — the outstanding set
 			// must only track frames that are actually corrupt on disk.
 			framed = in.flipBit(framed)
-			if werr := in.inner.Write(node, key, framed); werr == nil {
+			if werr := in.inner.Write(ctx, node, key, framed); werr == nil {
 				in.injected[ClassBitFlip].Inc()
 				in.markOutstandingLocked(id)
 			} else {
@@ -390,7 +396,10 @@ func (in *Injector) Read(node int, key string) ([]byte, error) {
 // Write stores a block through the fault schedule. A clean write to a frame
 // that was corrupt at rest clears its outstanding mark (that is how
 // read-repair and scrub heal show up in the bookkeeping).
-func (in *Injector) Write(node int, key string, data []byte) error {
+func (in *Injector) Write(ctx context.Context, node int, key string, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.ops++
@@ -409,7 +418,7 @@ func (in *Injector) Write(node int, key string, data []byte) error {
 		case in.roll(in.cfg.TornWriteRate) && len(data) > 0:
 			// Persist a strict prefix but report success: a torn write is
 			// silent until a checksum catches it.
-			if err := in.inner.Write(node, key, data[:in.rng.IntN(len(data))]); err != nil {
+			if err := in.inner.Write(ctx, node, key, data[:in.rng.IntN(len(data))]); err != nil {
 				return err
 			}
 			in.injected[ClassTornWrite].Inc()
@@ -417,7 +426,7 @@ func (in *Injector) Write(node int, key string, data []byte) error {
 			return nil
 		}
 	}
-	err := in.inner.Write(node, key, data)
+	err := in.inner.Write(ctx, node, key, data)
 	if err == nil && in.outstanding[id] {
 		delete(in.outstanding, id)
 		in.gOutst.Set(int64(len(in.outstanding)))
@@ -426,7 +435,7 @@ func (in *Injector) Write(node int, key string, data []byte) error {
 }
 
 // Delete removes a block (and any outstanding-corruption mark on it).
-func (in *Injector) Delete(node int, key string) error {
+func (in *Injector) Delete(ctx context.Context, node int, key string) error {
 	in.mu.Lock()
 	id := frameID{node, key}
 	if in.outstanding[id] {
@@ -434,7 +443,7 @@ func (in *Injector) Delete(node int, key string) error {
 		in.gOutst.Set(int64(len(in.outstanding)))
 	}
 	in.mu.Unlock()
-	return in.inner.Delete(node, key)
+	return in.inner.Delete(ctx, node, key)
 }
 
 // --- internals (callers hold in.mu) ---

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math/rand/v2"
 	"testing"
@@ -291,7 +292,7 @@ func TestNodeLossAndFlap(t *testing.T) {
 	if inj.Available(3, "obj/0/3") {
 		t.Error("lost node reports available")
 	}
-	if _, err := inj.Read(3, "obj/0/3"); !errors.Is(err, ErrNodeLost) {
+	if _, err := inj.Read(context.Background(), 3, "obj/0/3"); !errors.Is(err, ErrNodeLost) {
 		t.Errorf("read of lost node: %v", err)
 	}
 	if errors.Is(ErrNodeLost, archive.ErrTransient) {
@@ -306,7 +307,7 @@ func TestNodeLossAndFlap(t *testing.T) {
 	if inj.Available(5, "obj/0/5") {
 		t.Error("flapping node reports available")
 	}
-	if _, err := inj.Read(5, "obj/0/5"); !errors.Is(err, archive.ErrTransient) {
+	if _, err := inj.Read(context.Background(), 5, "obj/0/5"); !errors.Is(err, archive.ErrTransient) {
 		t.Errorf("flapping read should be transient: %v", err)
 	}
 	// The flap window expires as the op clock advances.

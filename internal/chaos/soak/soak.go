@@ -14,6 +14,7 @@ package soak
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -99,12 +100,12 @@ type Report struct {
 	SilentCorruptions int
 
 	// Fault-injection accounting.
-	Injected        map[string]int64 // per chaos class
-	ServedCorrupt   int64            // corrupt frames handed to the archive
-	DetectedCorrupt int64            // corrupt frames the archive detected
-	VoidedCorrupt   int64            // at-rest corruptions destroyed before detection
-	ReadRepairs     int64
-	ScrubRepairs    int64
+	Injected         map[string]int64 // per chaos class
+	ServedCorrupt    int64            // corrupt frames handed to the archive
+	DetectedCorrupt  int64            // corrupt frames the archive detected
+	VoidedCorrupt    int64            // at-rest corruptions destroyed before detection
+	ReadRepairs      int64
+	ScrubRepairs     int64
 	QuarantineEvents int64
 
 	// Post-campaign convergence (after Quiesce + RestoreAll + repair
@@ -155,6 +156,14 @@ func (r Report) Check() error {
 // the harness itself failed (bad config, unexpected store error) — invariant
 // violations are reported via Report.Check, not the error.
 func Run(cfg Config) (Report, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run with cancellation: the campaign checks ctx between
+// operations and aborts with the context's error. Cancellation does not
+// perturb the schedule — a run that completes produces the same Report and
+// fingerprint whether or not a context was attached.
+func RunCtx(ctx context.Context, cfg Config) (Report, error) {
 	if cfg.Ops <= 0 {
 		cfg.Ops = 400
 	}
@@ -243,7 +252,7 @@ func Run(cfg Config) (Report, error) {
 		for j := range data {
 			data[j] = byte(rng.IntN(256))
 		}
-		if err := store.Put(name, data); err != nil {
+		if err := store.PutCtx(ctx, name, data); err != nil {
 			if errors.Is(err, archive.ErrDegraded) {
 				rep.RejectedPuts++
 				note("op %d put %s rejected", i, name)
@@ -259,7 +268,7 @@ func Run(cfg Config) (Report, error) {
 	}
 	get := func(i int) error {
 		name := names[rng.IntN(len(names))]
-		got, stats, err := store.Get(name)
+		got, stats, err := store.GetCtx(ctx, name)
 		rep.Gets++
 		switch {
 		case err == nil && bytes.Equal(got, golden[name]):
@@ -278,7 +287,7 @@ func Run(cfg Config) (Report, error) {
 		return nil
 	}
 	scrub := func(i int) error {
-		srep, err := store.Scrub(true)
+		srep, err := store.ScrubCtx(ctx, true)
 		if err != nil {
 			return fmt.Errorf("soak: scrub: %w", err)
 		}
@@ -296,6 +305,9 @@ func Run(cfg Config) (Report, error) {
 	}
 
 	for i := 0; i < cfg.Ops; i++ {
+		if err := ctx.Err(); err != nil {
+			return rep, fmt.Errorf("soak: cancelled at op %d: %w", i, err)
+		}
 		if cfg.ScrubEvery > 0 && i > 0 && i%cfg.ScrubEvery == 0 {
 			if err := scrub(i); err != nil {
 				return rep, err

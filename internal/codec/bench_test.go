@@ -1,0 +1,85 @@
+package codec
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// BenchmarkXorInto measures the word-wide XOR kernel at the default block
+// size — the innermost loop of every encode and repair.
+func BenchmarkXorInto(b *testing.B) {
+	dst := make([]byte, 4096)
+	src := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xorInto(dst, src)
+	}
+}
+
+// BenchmarkXorIntoRef is the byte-loop baseline BenchmarkXorInto is
+// measured against.
+func BenchmarkXorIntoRef(b *testing.B) {
+	dst := make([]byte, 4096)
+	src := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xorIntoRef(dst, src)
+	}
+}
+
+// BenchmarkEncode is the allocating per-stripe encode the streaming path
+// replaced: fresh blocks every stripe.
+func BenchmarkEncode(b *testing.B) {
+	g := testGraph(b)
+	c, err := New(g, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, c.Capacity())
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := range payload {
+		payload[i] = byte(rng.IntN(256))
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncoderEncode is the arena encoder on the same stripe — the
+// steady-state encode hot loop; allocs/op must be zero.
+func BenchmarkEncoderEncode(b *testing.B) {
+	g := testGraph(b)
+	c, err := New(g, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := c.NewEncoder()
+	payload := make([]byte, c.Capacity())
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := range payload {
+		payload[i] = byte(rng.IntN(256))
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.Encode(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -164,25 +164,3 @@ func (c *Codec) Repair(blocks [][]byte) error {
 	}
 	return nil
 }
-
-// xorInto sets dst ^= src for equal-length slices, working in 8-byte words.
-func xorInto(dst, src []byte) {
-	n := len(dst)
-	i := 0
-	for ; i+8 <= n; i += 8 {
-		// Manual word XOR; bounds-check eliminated by the slicing pattern.
-		d := dst[i : i+8 : i+8]
-		s := src[i : i+8 : i+8]
-		d[0] ^= s[0]
-		d[1] ^= s[1]
-		d[2] ^= s[2]
-		d[3] ^= s[3]
-		d[4] ^= s[4]
-		d[5] ^= s[5]
-		d[6] ^= s[6]
-		d[7] ^= s[7]
-	}
-	for ; i < n; i++ {
-		dst[i] ^= src[i]
-	}
-}

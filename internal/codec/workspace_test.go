@@ -1,0 +1,202 @@
+package codec
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestXorIntoMatchesReference cross-checks the word-wide kernel against the
+// byte-at-a-time reference across sizes that exercise the 64-byte blocks,
+// the 8-byte tail, and the byte tail.
+func TestXorIntoMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 65, 127, 128, 1000, 4096} {
+		dst := make([]byte, n)
+		src := make([]byte, n)
+		for i := range dst {
+			dst[i] = byte(rng.IntN(256))
+			src[i] = byte(rng.IntN(256))
+		}
+		want := append([]byte(nil), dst...)
+		xorIntoRef(want, src)
+		xorInto(dst, src)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("xorInto mismatch at n=%d", n)
+		}
+	}
+}
+
+// TestEncoderMatchesEncode proves the arena encoder is bit-identical to the
+// allocating Encode across payload sizes including zero, partial-final-block,
+// and full-capacity stripes.
+func TestEncoderMatchesEncode(t *testing.T) {
+	g := testGraph(t)
+	c, err := New(g, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := c.NewEncoder()
+	rng := rand.New(rand.NewPCG(1, 9))
+	for _, n := range []int{0, 1, 63, 64, 65, c.Capacity() / 2, c.Capacity() - 1, c.Capacity()} {
+		payload := make([]byte, n)
+		for i := range payload {
+			payload[i] = byte(rng.IntN(256))
+		}
+		want, err := c.Encode(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := enc.Encode(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("n=%d block %d differs between Encoder and Encode", n, i)
+			}
+		}
+	}
+	if _, err := enc.Encode(make([]byte, c.Capacity()+1)); err == nil {
+		t.Fatal("Encoder accepted an oversized payload")
+	}
+}
+
+// TestEncoderReuseDoesNotLeakPriorStripe guards the arena refill: a short
+// payload after a long one must see zero padding, not the prior stripe's
+// bytes.
+func TestEncoderReuseDoesNotLeakPriorStripe(t *testing.T) {
+	g := testGraph(t)
+	c, err := New(g, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := c.NewEncoder()
+	long := bytes.Repeat([]byte{0xAA}, c.Capacity())
+	if _, err := enc.Encode(long); err != nil {
+		t.Fatal(err)
+	}
+	short := []byte{1, 2, 3}
+	got, err := enc.Encode(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.Encode(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("block %d differs after reuse: prior stripe leaked into padding", i)
+		}
+	}
+}
+
+// TestRepairWithMatchesRepair erases random subsets and checks the
+// workspace repair agrees with the allocating Repair, including the
+// unrecoverable verdict.
+func TestRepairWithMatchesRepair(t *testing.T) {
+	g := testGraph(t)
+	c, err := New(g, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := c.NewWorkspace()
+	rng := rand.New(rand.NewPCG(3, 3))
+	payload := make([]byte, c.Capacity())
+	for i := range payload {
+		payload[i] = byte(rng.IntN(256))
+	}
+	full, err := c.Encode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		k := rng.IntN(8)
+		a := make([][]byte, len(full))
+		b := make([][]byte, len(full))
+		for i := range full {
+			a[i] = append([]byte(nil), full[i]...)
+			b[i] = append([]byte(nil), full[i]...)
+		}
+		for j := 0; j < k; j++ {
+			v := rng.IntN(len(full))
+			a[v], b[v] = nil, nil
+		}
+		errA := c.Repair(a)
+		errB := c.RepairWith(ws, b)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("trial %d: Repair err %v, RepairWith err %v", trial, errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		for i := range a {
+			if (a[i] == nil) != (b[i] == nil) {
+				t.Fatalf("trial %d: block %d presence differs", trial, i)
+			}
+			if a[i] != nil && !bytes.Equal(a[i], b[i]) {
+				t.Fatalf("trial %d: block %d bytes differ", trial, i)
+			}
+		}
+	}
+}
+
+// TestDecodeIntoRoundTrip streams several stripes through one workspace and
+// one payload buffer, checking each decode against the source bytes.
+func TestDecodeIntoRoundTrip(t *testing.T) {
+	g := testGraph(t)
+	c, err := New(g, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := c.NewWorkspace()
+	rng := rand.New(rand.NewPCG(5, 5))
+	var buf []byte
+	for stripe := 0; stripe < 10; stripe++ {
+		n := 1 + rng.IntN(c.Capacity())
+		payload := make([]byte, n)
+		for i := range payload {
+			payload[i] = byte(rng.IntN(256))
+		}
+		blocks, err := c.Encode(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Knock out a few blocks so the decode actually repairs.
+		for j := 0; j < 3; j++ {
+			blocks[rng.IntN(len(blocks))] = nil
+		}
+		buf = buf[:0]
+		buf, err = c.DecodeInto(ws, buf, blocks, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, payload) {
+			t.Fatalf("stripe %d: DecodeInto mismatch", stripe)
+		}
+	}
+}
+
+// TestEncoderZeroAllocs is the allocation-regression gate on the encode hot
+// loop: a warmed Encoder must not allocate per stripe.
+func TestEncoderZeroAllocs(t *testing.T) {
+	g := testGraph(t)
+	c, err := New(g, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := c.NewEncoder()
+	payload := make([]byte, c.Capacity())
+	if _, err := enc.Encode(payload); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := enc.Encode(payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Encoder.Encode allocates %.1f/op; the encode hot loop must be allocation-free", allocs)
+	}
+}

@@ -1,6 +1,8 @@
 package maid
 
 import (
+	"context"
+
 	"tornado/internal/archive"
 	"tornado/internal/device"
 )
@@ -34,17 +36,25 @@ func (b StoreBackend) Available(node int, key string) bool {
 }
 
 // Read fetches a block through the shelf, spinning the drive up if needed.
-func (b StoreBackend) Read(node int, key string) ([]byte, error) {
+// The simulated shelf spins up synchronously, so ctx is only checked on
+// entry; a real shelf would wait on the spin-up queue under ctx.
+func (b StoreBackend) Read(ctx context.Context, node int, key string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return b.shelf.Read(node, key)
 }
 
 // Write stores a block through the shelf, spinning the drive up if needed.
-func (b StoreBackend) Write(node int, key string, data []byte) error {
+func (b StoreBackend) Write(ctx context.Context, node int, key string, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return b.shelf.Write(node, key, data)
 }
 
 // Delete removes a block, spinning the drive up if needed.
-func (b StoreBackend) Delete(node int, key string) error {
+func (b StoreBackend) Delete(_ context.Context, node int, key string) error {
 	b.shelf.mu.Lock()
 	b.shelf.touchLocked(node)
 	b.shelf.mu.Unlock()

@@ -2,6 +2,7 @@ package maid
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"math/rand/v2"
 	"testing"
@@ -39,7 +40,7 @@ func TestStoreBackendAvailability(t *testing.T) {
 	if b.Nodes() != 4 {
 		t.Errorf("Nodes = %d", b.Nodes())
 	}
-	if err := b.Write(0, "k", []byte("x")); err != nil {
+	if err := b.Write(context.Background(), 0, "k", []byte("x")); err != nil {
 		t.Fatal(err)
 	}
 	s.ParkAll()
@@ -61,7 +62,7 @@ func TestStoreBackendAvailability(t *testing.T) {
 func TestStoreBackendCostAndDelete(t *testing.T) {
 	s := newShelf(t, 4, 2)
 	b := NewStoreBackend(s)
-	b.Write(0, "k", []byte("x"))
+	b.Write(context.Background(), 0, "k", []byte("x"))
 	if c := b.Cost(0); c >= 1 {
 		t.Errorf("spinning cost = %v", c)
 	}
@@ -73,7 +74,7 @@ func TestStoreBackendCostAndDelete(t *testing.T) {
 	if !math.IsInf(b.Cost(3), 1) {
 		t.Errorf("failed cost = %v", b.Cost(3))
 	}
-	if err := b.Delete(0, "k"); err != nil {
+	if err := b.Delete(context.Background(), 0, "k"); err != nil {
 		t.Fatal(err)
 	}
 	if b.Available(0, "k") {

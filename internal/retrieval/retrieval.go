@@ -9,6 +9,12 @@
 // is minimal (no single element can be removed), though not always
 // globally minimum — matching the paper's framing of guided search as a
 // heuristic optimization.
+//
+// The hot entry point is Planner: it keeps an incremental decode kernel
+// and every buffer across calls, so planning a stripe in the archive read
+// path costs one EraseOne+Eval delta per candidate and allocates nothing
+// in the steady state. The package-level Plan is the one-shot convenience
+// wrapper.
 package retrieval
 
 import (
@@ -31,35 +37,80 @@ type CostFunc func(v int) float64
 // UnitCost charges 1 per block — minimizing the number of devices accessed.
 func UnitCost(int) float64 { return 1 }
 
-// Plan selects a subset of the available nodes whose blocks reconstruct all
-// data, minimizing total cost greedily. available[v] reports whether node
-// v's block is retrievable at all.
-func Plan(g *graph.Graph, available []bool, cost CostFunc) ([]int, float64, error) {
-	if len(available) != g.Total {
+// Planner plans retrievals over one graph, reusing an incremental decode
+// kernel and all working buffers between calls. Not safe for concurrent
+// use; create one per goroutine (they may not share kernels).
+type Planner struct {
+	g      *graph.Graph
+	k      *decode.Kernel
+	cands  []int
+	costs  []float64 // costs[v] for the current call
+	inPlan []bool    // candidate survives reverse-delete
+	erased []int     // every node this call erased, for unwinding
+	plan   []int
+}
+
+// NewPlanner returns a Planner for g.
+func NewPlanner(g *graph.Graph) *Planner {
+	return &Planner{
+		g:      g,
+		k:      decode.NewKernel(decode.NewCSR(g)),
+		cands:  make([]int, 0, g.Total),
+		costs:  make([]float64, g.Total),
+		inPlan: make([]bool, g.Total),
+		erased: make([]int, 0, g.Total),
+		plan:   make([]int, 0, g.Total),
+	}
+}
+
+// Plan selects a subset of the available nodes whose blocks reconstruct
+// all data, minimizing total cost greedily. available[v] reports whether
+// node v's block is retrievable at all. The returned slice is reused by
+// the next Plan call — callers that keep it must copy.
+func (p *Planner) Plan(available []bool, cost CostFunc) ([]int, float64, error) {
+	if len(available) != p.g.Total {
 		return nil, 0, errors.New("retrieval: availability vector size mismatch")
 	}
 	if cost == nil {
 		cost = UnitCost
 	}
-	d := decode.New(g)
 
-	// Candidate set: available nodes with finite cost.
-	selected := make([]bool, g.Total)
-	var cands []int
-	for v := 0; v < g.Total; v++ {
-		if available[v] && !math.IsInf(cost(v), 1) {
-			selected[v] = true
+	// Candidate set: available nodes with finite cost. Everything else is
+	// erased up front; candidates start present.
+	k := p.k
+	cands := p.cands[:0]
+	erasedList := p.erased[:0]
+	for v := 0; v < p.g.Total; v++ {
+		if available[v] {
+			p.costs[v] = cost(v)
+		} else {
+			p.costs[v] = math.Inf(1)
+		}
+		if !math.IsInf(p.costs[v], 1) {
+			p.inPlan[v] = true
 			cands = append(cands, v)
+		} else {
+			p.inPlan[v] = false
+			k.EraseOne(v)
+			erasedList = append(erasedList, v)
 		}
 	}
-	if !recoverableWith(d, g, selected) {
+	p.cands, p.erased = cands, erasedList
+	restore := func() {
+		for _, v := range p.erased {
+			k.RestoreOne(v)
+		}
+	}
+	if !k.Eval() {
+		restore()
 		return nil, 0, ErrInsufficient
 	}
 
 	// Reverse-delete: drop candidates most-expensive-first while the
-	// stripe remains decodable.
-	slices.SortStableFunc(cands, func(a, b int) int {
-		ca, cb := cost(a), cost(b)
+	// stripe remains decodable. Each probe is a one-node kernel delta,
+	// not a fresh peel.
+	slices.SortStableFunc(p.cands, func(a, b int) int {
+		ca, cb := p.costs[a], p.costs[b]
 		switch {
 		case ca > cb:
 			return -1
@@ -69,32 +120,36 @@ func Plan(g *graph.Graph, available []bool, cost CostFunc) ([]int, float64, erro
 			return b - a // among equals, drop deep check nodes first
 		}
 	})
-	for _, v := range cands {
-		selected[v] = false
-		if !recoverableWith(d, g, selected) {
-			selected[v] = true
+	for _, v := range p.cands {
+		k.EraseOne(v)
+		if k.Eval() {
+			p.inPlan[v] = false // dropped for good
+			p.erased = append(p.erased, v)
+		} else {
+			k.RestoreOne(v)
 		}
 	}
 
-	var plan []int
+	plan := p.plan[:0]
 	total := 0.0
-	for v := 0; v < g.Total; v++ {
-		if selected[v] {
+	for v := 0; v < p.g.Total; v++ {
+		if p.inPlan[v] {
 			plan = append(plan, v)
-			total += cost(v)
+			total += p.costs[v]
 		}
 	}
+	p.plan = plan
+	restore()
+	p.erased = p.erased[:0]
 	return plan, total, nil
 }
 
-// recoverableWith reports whether treating exactly the selected nodes as
-// present reconstructs all data.
-func recoverableWith(d *decode.Decoder, g *graph.Graph, selected []bool) bool {
-	var erased []int
-	for v := 0; v < g.Total; v++ {
-		if !selected[v] {
-			erased = append(erased, v)
-		}
+// Plan is the one-shot wrapper: build a throwaway Planner and run it.
+// Steady-state callers (the archive stripe path) should hold a Planner.
+func Plan(g *graph.Graph, available []bool, cost CostFunc) ([]int, float64, error) {
+	plan, total, err := NewPlanner(g).Plan(available, cost)
+	if err != nil {
+		return nil, total, err
 	}
-	return d.Recoverable(erased)
+	return slices.Clone(plan), total, nil
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"math/rand/v2"
+	"slices"
 	"testing"
 
 	"tornado/internal/codec"
@@ -219,6 +220,145 @@ func TestPlanDrivesCodecDecode(t *testing.T) {
 	for i := range got {
 		if got[i] != payload[i] {
 			t.Fatal("payload mismatch after planned retrieval")
+		}
+	}
+}
+
+// referencePlan is the pre-Planner implementation — full Decoder peel per
+// reverse-delete probe — kept here as the differential oracle.
+func referencePlan(g *graph.Graph, available []bool, cost CostFunc) ([]int, float64, error) {
+	if cost == nil {
+		cost = UnitCost
+	}
+	d := decode.New(g)
+	recoverableWith := func(selected []bool) bool {
+		var erased []int
+		for v := 0; v < g.Total; v++ {
+			if !selected[v] {
+				erased = append(erased, v)
+			}
+		}
+		return d.Recoverable(erased)
+	}
+	selected := make([]bool, g.Total)
+	var cands []int
+	for v := 0; v < g.Total; v++ {
+		if available[v] && !math.IsInf(cost(v), 1) {
+			selected[v] = true
+			cands = append(cands, v)
+		}
+	}
+	if !recoverableWith(selected) {
+		return nil, 0, ErrInsufficient
+	}
+	slices.SortStableFunc(cands, func(a, b int) int {
+		ca, cb := cost(a), cost(b)
+		switch {
+		case ca > cb:
+			return -1
+		case ca < cb:
+			return 1
+		default:
+			return b - a
+		}
+	})
+	for _, v := range cands {
+		selected[v] = false
+		if !recoverableWith(selected) {
+			selected[v] = true
+		}
+	}
+	var plan []int
+	total := 0.0
+	for v := 0; v < g.Total; v++ {
+		if selected[v] {
+			plan = append(plan, v)
+			total += cost(v)
+		}
+	}
+	return plan, total, nil
+}
+
+// TestPlannerMatchesReference drives one reused Planner and the
+// decoder-based reference across random availability vectors and cost
+// surfaces; plans must be identical element for element.
+func TestPlannerMatchesReference(t *testing.T) {
+	g := tornado96(t)
+	p := NewPlanner(g)
+	rng := rand.New(rand.NewPCG(400, 1))
+	for trial := 0; trial < 60; trial++ {
+		avail := make([]bool, g.Total)
+		for v := range avail {
+			avail[v] = rng.Float64() > 0.25
+		}
+		costs := make([]float64, g.Total)
+		for v := range costs {
+			switch rng.IntN(4) {
+			case 0:
+				costs[v] = 1
+			case 1:
+				costs[v] = float64(1 + rng.IntN(10))
+			case 2:
+				costs[v] = rng.Float64() * 5
+			default:
+				costs[v] = math.Inf(1)
+			}
+		}
+		cost := func(v int) float64 { return costs[v] }
+		got, gotTotal, gotErr := p.Plan(avail, cost)
+		want, wantTotal, wantErr := referencePlan(g, avail, cost)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("trial %d: err %v vs reference %v", trial, gotErr, wantErr)
+		}
+		if gotErr != nil {
+			continue
+		}
+		if !slices.Equal(got, want) || gotTotal != wantTotal {
+			t.Fatalf("trial %d: plan %v (%v) vs reference %v (%v)", trial, got, gotTotal, want, wantTotal)
+		}
+	}
+}
+
+// TestPlannerReuseMatchesFresh: a Planner's Nth call equals a fresh
+// Planner's — the kernel unwinds completely between calls.
+func TestPlannerReuseMatchesFresh(t *testing.T) {
+	g := tornado96(t)
+	p := NewPlanner(g)
+	rng := rand.New(rand.NewPCG(401, 1))
+	for trial := 0; trial < 30; trial++ {
+		avail := make([]bool, g.Total)
+		for v := range avail {
+			avail[v] = rng.Float64() > 0.3
+		}
+		got, gotTotal, gotErr := p.Plan(avail, nil)
+		want, wantTotal, wantErr := NewPlanner(g).Plan(avail, nil)
+		if (gotErr == nil) != (wantErr == nil) || gotTotal != wantTotal || !slices.Equal(got, want) {
+			t.Fatalf("trial %d: reused planner diverged: %v (%v, %v) vs %v (%v, %v)",
+				trial, got, gotTotal, gotErr, want, wantTotal, wantErr)
+		}
+	}
+}
+
+// BenchmarkPlannerSteadyState is the archive stripe path's planning cost:
+// one reused Planner, all nodes available. Must not allocate.
+func BenchmarkPlannerSteadyState(b *testing.B) {
+	g, _, err := core.Generate(core.DefaultParams(), rand.New(rand.NewPCG(77, 1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := NewPlanner(g)
+	avail := make([]bool, g.Total)
+	for v := range avail {
+		avail[v] = true
+	}
+	if _, _, err := p.Plan(avail, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.Plan(avail, nil); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

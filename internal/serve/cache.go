@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"tornado/internal/obs"
+)
+
+// stripeCache is a byte-budgeted LRU over decoded stripe payloads — the
+// serve layer's hot-block cache. Entries are whole stripes (the store's
+// cache-fill granularity), keyed by flat object key and stripe index.
+//
+// Coherence: cached payloads are decoded plaintext, so backend-level
+// healing (read-repair, scrub rewrites) never changes them — repair is
+// bit-exact by construction. The only mutations that change payload bytes
+// are object-level (Delete, re-Put), and the service invalidates the
+// object's entries on both. Cached slices are shared between callers and
+// must be treated as read-only.
+type stripeCache struct {
+	mu     sync.Mutex
+	budget int
+	bytes  int
+	ll     *list.List // front = most recently used
+	items  map[cacheKey]*list.Element
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+	gBytes    *obs.Gauge
+}
+
+type cacheKey struct {
+	key    string
+	stripe int
+}
+
+type cacheEntry struct {
+	k       cacheKey
+	payload []byte
+}
+
+func newStripeCache(budget int, reg *obs.Registry) *stripeCache {
+	return &stripeCache{
+		budget:    budget,
+		ll:        list.New(),
+		items:     make(map[cacheKey]*list.Element),
+		hits:      reg.Counter("serve.cache.hits"),
+		misses:    reg.Counter("serve.cache.misses"),
+		evictions: reg.Counter("serve.cache.evictions"),
+		gBytes:    reg.Gauge("serve.cache.bytes"),
+	}
+}
+
+// get returns the cached payload (shared, read-only) and refreshes its
+// recency.
+func (c *stripeCache) get(key string, stripe int) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[cacheKey{key, stripe}]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*cacheEntry).payload, true
+}
+
+// add inserts a payload, taking ownership of the slice, and evicts from
+// the cold end until the budget holds. Payloads larger than the whole
+// budget are not cached.
+func (c *stripeCache) add(key string, stripe int, payload []byte) {
+	if len(payload) > c.budget {
+		return
+	}
+	k := cacheKey{key, stripe}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		// Replace in place (a re-read after invalidation raced another).
+		c.bytes += len(payload) - len(el.Value.(*cacheEntry).payload)
+		el.Value.(*cacheEntry).payload = payload
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[k] = c.ll.PushFront(&cacheEntry{k: k, payload: payload})
+		c.bytes += len(payload)
+	}
+	for c.bytes > c.budget {
+		el := c.ll.Back()
+		if el == nil {
+			break
+		}
+		c.removeLocked(el)
+		c.evictions.Inc()
+	}
+	c.gBytes.Set(int64(c.bytes))
+}
+
+// invalidate drops every cached stripe of one object (Delete / re-Put).
+func (c *stripeCache) invalidate(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if el.Value.(*cacheEntry).k.key == key {
+			c.removeLocked(el)
+		}
+		el = next
+	}
+	c.gBytes.Set(int64(c.bytes))
+}
+
+func (c *stripeCache) removeLocked(el *list.Element) {
+	ent := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, ent.k)
+	c.bytes -= len(ent.payload)
+}

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"tornado/internal/archive"
+)
+
+// readStripeHedged reads one stripe, racing replicas when the first is
+// slow: the primary (rotated by stripe index so replicas share steady-state
+// load) gets HedgeDelay to answer; then the next replica is launched, and
+// so on. The first success wins and every other in-flight read is
+// cancelled. Errors only surface once all replicas have failed, so a
+// degraded or unrecoverable replica is masked by any healthy one.
+func (s *Service) readStripeHedged(ctx context.Context, k string, st int) ([]byte, archive.GetStats, error) {
+	if len(s.stores) == 1 || s.cfg.HedgeDelay < 0 {
+		return s.stores[0].ReadStripe(ctx, k, st)
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel() // losers are cancelled the moment a winner returns
+
+	type result struct {
+		payload []byte
+		stats   archive.GetStats
+		err     error
+		replica int
+	}
+	// Buffered to the replica count: a losing goroutine can always deliver
+	// its (cancelled) result and exit — no goroutine outlives the call by
+	// more than its own cancelled read.
+	results := make(chan result, len(s.stores))
+	launch := func(i int) {
+		go func() {
+			p, stats, err := s.stores[i].ReadStripe(hctx, k, st)
+			results <- result{p, stats, err, i}
+		}()
+	}
+
+	primary := st % len(s.stores)
+	launched := 1
+	launch(primary)
+	timer := time.NewTimer(s.cfg.HedgeDelay)
+	defer timer.Stop()
+
+	var firstErr error
+	failed := 0
+	for {
+		select {
+		case r := <-results:
+			if r.err == nil {
+				if r.replica != primary {
+					s.mHedgeWins.Inc()
+				}
+				return r.payload, r.stats, nil
+			}
+			if firstErr == nil && !errIsCtx(r.err) {
+				firstErr = r.err
+			}
+			failed++
+			if failed == len(s.stores) {
+				if firstErr == nil {
+					firstErr = r.err
+				}
+				return nil, archive.GetStats{}, firstErr
+			}
+			if launched < len(s.stores) {
+				// A failure is a stronger signal than a timeout: hedge now.
+				s.mHedges.Inc()
+				launch((primary + launched) % len(s.stores))
+				launched++
+			}
+		case <-timer.C:
+			if launched < len(s.stores) {
+				s.mHedges.Inc()
+				launch((primary + launched) % len(s.stores))
+				launched++
+				timer.Reset(s.cfg.HedgeDelay)
+			}
+		case <-ctx.Done():
+			return nil, archive.GetStats{}, ctx.Err()
+		}
+	}
+}
+
+func errIsCtx(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

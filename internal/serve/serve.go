@@ -1,0 +1,431 @@
+// Package serve is the multi-tenant archive service: a high-throughput
+// front door over one or more archive.Store replicas. It adds the four
+// things the raw store does not have — per-tenant namespaces with
+// admission control (so one tenant's burst cannot starve another),
+// backpressure (bounded queues that shed load with ErrOverloaded instead
+// of collapsing), a bounded hot-stripe read cache that stays coherent with
+// the self-healing data path, and request hedging across replicas (a read
+// stalled on a slow or degraded replica is raced against another copy,
+// and the loser is cancelled).
+//
+// The data path is streaming and context-first end to end: Put consumes an
+// io.Reader and Get produces into an io.Writer stripe by stripe, so peak
+// memory per request is O(parallelism × stripe) no matter the object size,
+// and cancelling the request context aborts the pipeline promptly at every
+// layer down to the backend.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tornado/internal/archive"
+	"tornado/internal/obs"
+)
+
+// Exported defaults, replaced into zero Config fields by normalize (the
+// internal/sim option idiom: zero means default, negative disables).
+const (
+	// DefaultMaxInflight is the per-tenant concurrent request limit.
+	DefaultMaxInflight = 8
+	// DefaultMaxQueue is how many further requests per tenant may wait for
+	// a slot before new arrivals are shed with ErrOverloaded.
+	DefaultMaxQueue = 32
+	// DefaultCacheBytes is the hot-stripe read cache budget.
+	DefaultCacheBytes = 8 << 20
+	// DefaultHedgeDelay is how long a stripe read waits on one replica
+	// before hedging to another.
+	DefaultHedgeDelay = 20 * time.Millisecond
+)
+
+var (
+	// ErrOverloaded is backpressure: the tenant's inflight and queue
+	// budgets are both full, so the request is shed immediately. Clients
+	// should retry with delay (HTTP maps this to 503 + Retry-After).
+	ErrOverloaded = errors.New("serve: tenant overloaded")
+	// ErrUnknownTenant reports a tenant outside the configured set.
+	ErrUnknownTenant = errors.New("serve: unknown tenant")
+)
+
+// Config tunes a Service.
+type Config struct {
+	// Tenants fixes the namespace set; requests for other tenants fail
+	// with ErrUnknownTenant. Empty means open admission: tenants are
+	// created on first use.
+	Tenants []string
+	// MaxInflight caps concurrent requests per tenant. 0 means
+	// DefaultMaxInflight.
+	MaxInflight int
+	// MaxQueue caps requests per tenant waiting for an inflight slot;
+	// arrivals beyond it are shed with ErrOverloaded. 0 means
+	// DefaultMaxQueue, negative means no queueing (shed when saturated).
+	MaxQueue int
+	// CacheBytes is the hot-stripe cache budget. 0 means
+	// DefaultCacheBytes, negative disables the cache.
+	CacheBytes int
+	// HedgeDelay is how long a stripe read waits before racing another
+	// replica. 0 means DefaultHedgeDelay, negative disables hedging.
+	// Hedging also requires at least two replicas.
+	HedgeDelay time.Duration
+	// Parallelism is the stripe pipeline width of Put ingest. 0 means
+	// archive.DefaultStreamParallelism.
+	Parallelism int
+	// Metrics receives the service counters (serve.*). Nil gets a private
+	// registry, still readable via Service.Metrics.
+	Metrics *obs.Registry
+}
+
+func (c Config) normalize() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = DefaultMaxInflight
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = DefaultMaxQueue
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = DefaultCacheBytes
+	}
+	if c.HedgeDelay == 0 {
+		c.HedgeDelay = DefaultHedgeDelay
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = archive.DefaultStreamParallelism
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	return c
+}
+
+// tenant is one namespace's admission state.
+type tenant struct {
+	sem    chan struct{} // inflight slots
+	queued atomic.Int64  // requests waiting for a slot
+}
+
+// Service fronts archive replicas with tenancy, admission, caching, and
+// hedging. It is safe for concurrent use.
+type Service struct {
+	stores    []*archive.Store
+	cfg       Config
+	blockSize int
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+
+	cache *stripeCache
+
+	metrics      *obs.Registry
+	mPuts        *obs.Counter
+	mGets        *obs.Counter
+	mDeletes     *obs.Counter
+	mOverloaded  *obs.Counter
+	mShedCtx     *obs.Counter
+	mHedges      *obs.Counter
+	mHedgeWins   *obs.Counter
+	mRepairBytes *obs.Counter
+	hPutLatency  *obs.Histogram
+	hGetLatency  *obs.Histogram
+}
+
+// New builds a service over stores (replicas of one another: same graph
+// shape and block size, stewarded so each holds every object).
+func New(stores []*archive.Store, cfg Config) (*Service, error) {
+	if len(stores) == 0 {
+		return nil, errors.New("serve: need at least one store")
+	}
+	lay := stores[0].Layout()
+	for i, st := range stores[1:] {
+		if st.Layout() != lay {
+			return nil, fmt.Errorf("serve: replica %d layout %+v differs from replica 0 %+v", i+1, st.Layout(), lay)
+		}
+	}
+	cfg = cfg.normalize()
+	for _, tn := range cfg.Tenants {
+		if err := checkTenantName(tn); err != nil {
+			return nil, err
+		}
+	}
+	s := &Service{
+		stores:       stores,
+		cfg:          cfg,
+		blockSize:    lay.BlockSize,
+		tenants:      make(map[string]*tenant),
+		metrics:      cfg.Metrics,
+		mPuts:        cfg.Metrics.Counter("serve.puts"),
+		mGets:        cfg.Metrics.Counter("serve.gets"),
+		mDeletes:     cfg.Metrics.Counter("serve.deletes"),
+		mOverloaded:  cfg.Metrics.Counter("serve.overloaded"),
+		mShedCtx:     cfg.Metrics.Counter("serve.cancelled_waiting"),
+		mHedges:      cfg.Metrics.Counter("serve.hedge.launched"),
+		mHedgeWins:   cfg.Metrics.Counter("serve.hedge.wins"),
+		mRepairBytes: cfg.Metrics.Counter("serve.repair.bytes"),
+		hPutLatency:  cfg.Metrics.Histogram("serve.put.latency"),
+		hGetLatency:  cfg.Metrics.Histogram("serve.get.latency"),
+	}
+	if cfg.CacheBytes > 0 {
+		s.cache = newStripeCache(cfg.CacheBytes, cfg.Metrics)
+	}
+	for _, tn := range cfg.Tenants {
+		s.tenants[tn] = &tenant{sem: make(chan struct{}, cfg.MaxInflight)}
+	}
+	return s, nil
+}
+
+// Metrics returns the service registry (serve.* counters and histograms).
+func (s *Service) Metrics() *obs.Registry { return s.metrics }
+
+// Stores returns the replica set (for scrub drivers and tests).
+func (s *Service) Stores() []*archive.Store { return s.stores }
+
+func checkTenantName(tn string) error {
+	if tn == "" || strings.ContainsAny(tn, "\x00/") {
+		return fmt.Errorf("%w: %q (must be non-empty, no '/' or NUL)", ErrUnknownTenant, tn)
+	}
+	return nil
+}
+
+// key maps (tenant, object) into the flat store namespace. The NUL
+// separator cannot appear in a tenant name, so the mapping is injective —
+// tenant "a" with object "b/c" can never collide with tenant "a/b".
+func key(tn, name string) string { return tn + "\x00" + name }
+
+// tenantFor resolves (or, under open admission, creates) a tenant.
+func (s *Service) tenantFor(tn string) (*tenant, error) {
+	if err := checkTenantName(tn); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[tn]
+	if !ok {
+		if len(s.cfg.Tenants) > 0 {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, tn)
+		}
+		t = &tenant{sem: make(chan struct{}, s.cfg.MaxInflight)}
+		s.tenants[tn] = t
+	}
+	return t, nil
+}
+
+// admit takes one of the tenant's inflight slots, queueing up to MaxQueue
+// waiters and shedding everything beyond with ErrOverloaded. The returned
+// release must be called when the request finishes.
+func (s *Service) admit(ctx context.Context, tn string) (release func(), err error) {
+	t, err := s.tenantFor(tn)
+	if err != nil {
+		return nil, err
+	}
+	release = func() { <-t.sem }
+	select {
+	case t.sem <- struct{}{}: // free slot, no queueing
+		return release, nil
+	default:
+	}
+	if t.queued.Add(1) > int64(s.cfg.MaxQueue) {
+		t.queued.Add(-1)
+		s.mOverloaded.Inc()
+		return nil, fmt.Errorf("%w: %q", ErrOverloaded, tn)
+	}
+	defer t.queued.Add(-1)
+	select {
+	case t.sem <- struct{}{}:
+		return release, nil
+	case <-ctx.Done():
+		s.mShedCtx.Inc()
+		return nil, ctx.Err()
+	}
+}
+
+// Put ingests an object for a tenant, streaming it to every replica
+// concurrently through bounded pipes. All replicas succeed or the object
+// exists on none (partial replicas are rolled back).
+func (s *Service) Put(ctx context.Context, tn, name string, r io.Reader) (int, error) {
+	release, err := s.admit(ctx, tn)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	start := time.Now()
+	defer func() { s.hPutLatency.Observe(time.Since(start)) }()
+	s.mPuts.Inc()
+	k := key(tn, name)
+	if s.cache != nil {
+		defer s.cache.invalidate(k)
+	}
+	if len(s.stores) == 1 {
+		return s.stores[0].PutStream(ctx, k, r, archive.WithParallelism(s.cfg.Parallelism))
+	}
+
+	// Fan the byte stream out to every replica: one pipe per store, all fed
+	// by a single pass over r, so replication costs no extra object-sized
+	// buffering.
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	prs := make([]*io.PipeReader, len(s.stores))
+	pws := make([]io.Writer, len(s.stores))
+	for i := range s.stores {
+		pr, pw := io.Pipe()
+		prs[i], pws[i] = pr, pw
+	}
+	errs := make([]error, len(s.stores))
+	var wg sync.WaitGroup
+	for i, st := range s.stores {
+		wg.Add(1)
+		go func(i int, st *archive.Store) {
+			defer wg.Done()
+			_, errs[i] = st.PutStream(pctx, k, prs[i], archive.WithParallelism(s.cfg.Parallelism))
+			// Unblock the fan-out writer if this replica bailed early.
+			prs[i].CloseWithError(errs[i])
+		}(i, st)
+	}
+	n, copyErr := io.Copy(io.MultiWriter(pws...), r)
+	for i := range pws {
+		pws[i].(*io.PipeWriter).CloseWithError(copyErr)
+	}
+	wg.Wait()
+	var firstErr error
+	if copyErr != nil {
+		firstErr = fmt.Errorf("serve: put %q: %w", name, copyErr)
+	}
+	for _, e := range errs {
+		if e != nil && firstErr == nil {
+			firstErr = e
+		}
+	}
+	if firstErr != nil {
+		// All-or-nothing across replicas: PutStream rolled back its own
+		// failures; remove the copies that succeeded. The cleanup must
+		// survive the (possibly cancelled) request context.
+		dctx := context.WithoutCancel(ctx)
+		for i, e := range errs {
+			if e == nil {
+				_ = s.stores[i].DeleteCtx(dctx, k)
+			}
+		}
+		return 0, firstErr
+	}
+	return int(n), nil
+}
+
+// Get streams an object to w stripe by stripe, serving hot stripes from
+// the cache and hedging cold reads across replicas.
+func (s *Service) Get(ctx context.Context, tn, name string, w io.Writer) (int, error) {
+	release, err := s.admit(ctx, tn)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	start := time.Now()
+	defer func() { s.hGetLatency.Observe(time.Since(start)) }()
+	s.mGets.Inc()
+	k := key(tn, name)
+	obj, err := s.stores[0].Stat(k)
+	if err != nil {
+		return 0, err
+	}
+	lay := s.stores[0].Layout()
+	written := 0
+	for st := 0; st < obj.Stripes; st++ {
+		if err := ctx.Err(); err != nil {
+			return written, err
+		}
+		payload, err := s.stripe(ctx, k, st)
+		if err != nil {
+			return written, err
+		}
+		want := min(obj.Size-st*lay.StripeCapacity, lay.StripeCapacity)
+		if len(payload) != want {
+			return written, fmt.Errorf("serve: %q stripe %d: got %d bytes, want %d", name, st, len(payload), want)
+		}
+		n, werr := w.Write(payload)
+		written += n
+		if werr != nil {
+			return written, fmt.Errorf("serve: get %q: %w", name, werr)
+		}
+	}
+	return written, nil
+}
+
+// stripe returns one decoded stripe payload, via the cache when possible.
+// The returned slice is shared (cache-resident) and must not be mutated.
+func (s *Service) stripe(ctx context.Context, k string, st int) ([]byte, error) {
+	if s.cache != nil {
+		if p, ok := s.cache.get(k, st); ok {
+			return p, nil
+		}
+	}
+	payload, stats, err := s.readStripeHedged(ctx, k, st)
+	if err != nil {
+		return nil, err
+	}
+	// Repair traffic accounting: every reconstructed block written back to
+	// its home device moved BlockSize bytes to heal the archive.
+	if stats.ReadRepairs > 0 {
+		s.mRepairBytes.Add(int64(stats.ReadRepairs) * int64(s.blockSize))
+	}
+	if s.cache != nil {
+		s.cache.add(k, st, payload)
+	}
+	return payload, nil
+}
+
+// Delete removes a tenant's object from every replica.
+func (s *Service) Delete(ctx context.Context, tn, name string) error {
+	release, err := s.admit(ctx, tn)
+	if err != nil {
+		return err
+	}
+	defer release()
+	s.mDeletes.Inc()
+	k := key(tn, name)
+	if s.cache != nil {
+		s.cache.invalidate(k)
+	}
+	var firstErr error
+	for _, st := range s.stores {
+		if err := st.DeleteCtx(ctx, k); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Stat returns a tenant's object metadata (Name is the tenant-relative
+// object name).
+func (s *Service) Stat(ctx context.Context, tn, name string) (archive.Object, error) {
+	if _, err := s.tenantFor(tn); err != nil {
+		return archive.Object{}, err
+	}
+	obj, err := s.stores[0].Stat(key(tn, name))
+	if err != nil {
+		return archive.Object{}, err
+	}
+	obj.Name = name
+	return obj, nil
+}
+
+// List returns a tenant's objects (tenant-relative names).
+func (s *Service) List(tn string) ([]archive.Object, error) {
+	if _, err := s.tenantFor(tn); err != nil {
+		return nil, err
+	}
+	prefix := tn + "\x00"
+	var out []archive.Object
+	for _, obj := range s.stores[0].List() {
+		if strings.HasPrefix(obj.Name, prefix) {
+			obj.Name = obj.Name[len(prefix):]
+			out = append(out, obj)
+		}
+	}
+	return out, nil
+}

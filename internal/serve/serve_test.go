@@ -1,0 +1,591 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tornado/internal/archive"
+	"tornado/internal/chaos"
+	"tornado/internal/core"
+	"tornado/internal/device"
+	"tornado/internal/graph"
+	"tornado/internal/obs"
+)
+
+// testGraph builds one graph; replicas share it so layouts match.
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, _, err := core.Generate(core.DefaultParams(), rand.New(rand.NewPCG(77, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// testService builds a service over n array-backed replicas.
+func testService(t *testing.T, n int, cfg Config) (*Service, []*archive.Store) {
+	t.Helper()
+	g := testGraph(t)
+	stores := make([]*archive.Store, n)
+	for i := range stores {
+		s, err := archive.New(g, device.NewArray(g.Total), archive.Config{BlockSize: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[i] = s
+	}
+	svc, err := New(stores, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, stores
+}
+
+func testPayload(n int, seed uint64) []byte {
+	rng := rand.New(rand.NewPCG(seed, 0))
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.IntN(256))
+	}
+	return b
+}
+
+// TestTenantIsolation: two tenants use the same object name with different
+// bytes; each sees only its own data and namespace, and deleting one
+// tenant's object leaves the other's untouched.
+func TestTenantIsolation(t *testing.T) {
+	svc, _ := testService(t, 1, Config{})
+	ctx := context.Background()
+	a := testPayload(5000, 1)
+	b := testPayload(5000, 2)
+	if _, err := svc.Put(ctx, "alice", "report", bytes.NewReader(a)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Put(ctx, "bob", "report", bytes.NewReader(b)); err != nil {
+		t.Fatal(err)
+	}
+	var bufA, bufB bytes.Buffer
+	if _, err := svc.Get(ctx, "alice", "report", &bufA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Get(ctx, "bob", "report", &bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), a) || !bytes.Equal(bufB.Bytes(), b) {
+		t.Fatal("tenants see each other's bytes")
+	}
+	objsA, err := svc.List("alice")
+	if err != nil || len(objsA) != 1 || objsA[0].Name != "report" {
+		t.Fatalf("List(alice) = %+v, %v", objsA, err)
+	}
+	if err := svc.Delete(ctx, "alice", "report"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Stat(ctx, "alice", "report"); !errors.Is(err, archive.ErrNotFound) {
+		t.Errorf("alice's object survives delete: %v", err)
+	}
+	var again bytes.Buffer
+	if _, err := svc.Get(ctx, "bob", "report", &again); err != nil || !bytes.Equal(again.Bytes(), b) {
+		t.Errorf("bob's object damaged by alice's delete: %v", err)
+	}
+}
+
+// TestFixedTenantSet: with Tenants configured, others are refused.
+func TestFixedTenantSet(t *testing.T) {
+	svc, _ := testService(t, 1, Config{Tenants: []string{"alice"}})
+	ctx := context.Background()
+	if _, err := svc.Put(ctx, "alice", "x", strings.NewReader("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Put(ctx, "mallory", "x", strings.NewReader("hi")); !errors.Is(err, ErrUnknownTenant) {
+		t.Errorf("unknown tenant admitted: %v", err)
+	}
+	if _, err := svc.Put(ctx, "a/b", "x", strings.NewReader("hi")); !errors.Is(err, ErrUnknownTenant) {
+		t.Errorf("tenant with '/' admitted: %v", err)
+	}
+}
+
+// gateWriter blocks the first Write until its gate closes, pinning a Get
+// inflight.
+type gateWriter struct {
+	gate    <-chan struct{}
+	entered chan<- struct{}
+	once    sync.Once
+	buf     bytes.Buffer
+}
+
+func (g *gateWriter) Write(p []byte) (int, error) {
+	g.once.Do(func() {
+		close(g.entered)
+		<-g.gate
+	})
+	return g.buf.Write(p)
+}
+
+// TestAdmissionBackpressure: MaxInflight=1/MaxQueue=1 admits one request,
+// queues one, and sheds the third with ErrOverloaded; the queued request
+// proceeds once the slot frees.
+func TestAdmissionBackpressure(t *testing.T) {
+	svc, _ := testService(t, 1, Config{MaxInflight: 1, MaxQueue: 1})
+	ctx := context.Background()
+	data := testPayload(2000, 3)
+	if _, err := svc.Put(ctx, "t", "obj", bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	gw := &gateWriter{gate: gate, entered: entered}
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err := svc.Get(ctx, "t", "obj", gw)
+		firstDone <- err
+	}()
+	<-entered // request 1 holds the only slot
+
+	secondDone := make(chan error, 1)
+	go func() {
+		var buf bytes.Buffer
+		_, err := svc.Get(ctx, "t", "obj", &buf)
+		secondDone <- err
+	}()
+	// Wait until request 2 is actually queued, then request 3 must shed.
+	tn, err := svc.tenantFor("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tn.queued.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	var buf bytes.Buffer
+	if _, err := svc.Get(ctx, "t", "obj", &buf); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third request not shed: %v", err)
+	}
+	if svc.metrics.Counter("serve.overloaded").Value() == 0 {
+		t.Error("overload not counted")
+	}
+
+	close(gate)
+	if err := <-firstDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-secondDone; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gw.buf.Bytes(), data) {
+		t.Error("gated read returned wrong bytes")
+	}
+	// Admission also applies per tenant: another tenant is unaffected
+	// while this one is saturated.
+	if _, err := svc.Put(ctx, "other", "obj", bytes.NewReader(data)); err != nil {
+		t.Errorf("second tenant throttled by first: %v", err)
+	}
+}
+
+// blockingBackend parks every Read until the request context dies,
+// modeling a wedged replica; Writes pass through so Puts replicate.
+type blockingBackend struct {
+	archive.Backend
+	mu      sync.Mutex
+	blocked int
+}
+
+func (b *blockingBackend) Read(ctx context.Context, node int, key string) ([]byte, error) {
+	b.mu.Lock()
+	b.blocked++
+	b.mu.Unlock()
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+func (b *blockingBackend) blockedReads() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.blocked
+}
+
+// TestHedgingMasksSlowReplica: replica 0 wedges on read; the hedge races
+// replica 1 and the Get succeeds bit-exact. The loser's read is cancelled
+// — no goroutine may outlive the request.
+func TestHedgingMasksSlowReplica(t *testing.T) {
+	g := testGraph(t)
+	slow := &blockingBackend{Backend: archive.NewArrayBackend(device.NewArray(g.Total))}
+	s0, err := archive.NewWithBackend(g, slow, archive.Config{BlockSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := archive.New(g, device.NewArray(g.Total), archive.Config{BlockSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New([]*archive.Store{s0, s1}, Config{HedgeDelay: time.Millisecond, CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	data := testPayload(4*s0.Layout().StripeCapacity, 4)
+	if _, err := svc.Put(ctx, "t", "obj", bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+
+	before := runtime.NumGoroutine()
+	var buf bytes.Buffer
+	if _, err := svc.Get(ctx, "t", "obj", &buf); err != nil {
+		t.Fatalf("hedged Get: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Fatal("hedged Get returned wrong bytes")
+	}
+	if slow.blockedReads() == 0 {
+		t.Error("slow replica never consulted; hedge test proves nothing")
+	}
+	if svc.metrics.Counter("serve.hedge.launched").Value() == 0 {
+		t.Error("no hedges launched")
+	}
+	if svc.metrics.Counter("serve.hedge.wins").Value() == 0 {
+		t.Error("no hedge wins recorded against a wedged primary")
+	}
+	// Losers must drain: the wedged reads were cancelled when the winners
+	// returned, so the goroutine count returns to (about) the baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutine leak after hedged Get: %d > %d", n, before)
+	}
+}
+
+// TestHedgingMasksDegradedReplica: replica 0 has lost too many devices to
+// reconstruct; the error hedges immediately to replica 1.
+func TestHedgingMasksDegradedReplica(t *testing.T) {
+	svc, stores := testService(t, 2, Config{HedgeDelay: time.Hour, CacheBytes: -1})
+	ctx := context.Background()
+	data := testPayload(3000, 5)
+	if _, err := svc.Put(ctx, "t", "obj", bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range stores[0].Devices() {
+		d.Fail() // replica 0 is a total loss
+	}
+	var buf bytes.Buffer
+	if _, err := svc.Get(ctx, "t", "obj", &buf); err != nil {
+		t.Fatalf("Get with dead primary: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Fatal("failover returned wrong bytes")
+	}
+	// With every replica dead, the real error surfaces.
+	for _, d := range stores[1].Devices() {
+		d.Fail()
+	}
+	svc2, err := New(stores, Config{HedgeDelay: time.Millisecond, CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if _, err := svc2.Get(ctx, "t", "obj", &buf2); !errors.Is(err, archive.ErrDataLoss) {
+		t.Errorf("all-replicas-dead Get: %v", err)
+	}
+}
+
+// TestCacheCoherence: a stripe cached before damage is healed by
+// read-repair stays bit-exact, and a delete + re-put under the same name
+// invalidates — the cache never serves the old object's bytes.
+func TestCacheCoherence(t *testing.T) {
+	g := testGraph(t)
+	reg := obs.NewRegistry()
+	inj := chaos.Wrap(archive.NewArrayBackend(device.NewArray(g.Total)), chaos.Config{Seed: 9, Metrics: reg})
+	st, err := archive.NewWithBackend(g, inj, archive.Config{BlockSize: 64, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New([]*archive.Store{st}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	data := testPayload(2*st.Layout().StripeCapacity, 6)
+	if _, err := svc.Put(ctx, "t", "obj", bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Damage a stored frame, then read through the service: read-repair
+	// heals it mid-Get and the cache fills with the (correct) payload.
+	if err := inj.CorruptStored(3, "t\x00obj/0/3"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := svc.Get(ctx, "t", "obj", &buf); err != nil || !bytes.Equal(buf.Bytes(), data) {
+		t.Fatalf("Get through damage: %v", err)
+	}
+	// Second read is a cache hit and still bit-exact.
+	hits := svc.metrics.Counter("serve.cache.hits").Value()
+	buf.Reset()
+	if _, err := svc.Get(ctx, "t", "obj", &buf); err != nil || !bytes.Equal(buf.Bytes(), data) {
+		t.Fatalf("cached Get: %v", err)
+	}
+	if svc.metrics.Counter("serve.cache.hits").Value() <= hits {
+		t.Error("second read did not hit the cache")
+	}
+
+	// Replace the object: the cache must not serve the old bytes.
+	if err := svc.Delete(ctx, "t", "obj"); err != nil {
+		t.Fatal(err)
+	}
+	fresh := testPayload(2*st.Layout().StripeCapacity, 7)
+	if _, err := svc.Put(ctx, "t", "obj", bytes.NewReader(fresh)); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if _, err := svc.Get(ctx, "t", "obj", &buf); err != nil || !bytes.Equal(buf.Bytes(), fresh) {
+		t.Fatalf("Get after re-put served stale bytes: %v", err)
+	}
+}
+
+// TestCacheBudget: the cache evicts rather than exceed its byte budget.
+func TestCacheBudget(t *testing.T) {
+	svc, stores := testService(t, 1, Config{CacheBytes: 7000})
+	ctx := context.Background()
+	cap := stores[0].Layout().StripeCapacity // one stripe per object
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("obj%d", i)
+		if _, err := svc.Put(ctx, "t", name, bytes.NewReader(testPayload(cap, uint64(i)))); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := svc.Get(ctx, "t", name, &buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := svc.metrics.Gauge("serve.cache.bytes").Value(); got > 7000 {
+		t.Errorf("cache holds %d bytes, budget 7000", got)
+	}
+	if svc.metrics.Counter("serve.cache.evictions").Value() == 0 {
+		t.Error("no evictions despite exceeding the budget")
+	}
+}
+
+// TestHTTPEndToEnd drives the full handler over httptest: round trip,
+// status mapping, tenant scoping, metrics.
+func TestHTTPEndToEnd(t *testing.T) {
+	svc, _ := testService(t, 2, Config{HedgeDelay: time.Millisecond})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := srv.Client()
+	data := testPayload(5000, 8)
+
+	put := func(tenant, name string, body []byte) *http.Response {
+		req, _ := http.NewRequest(http.MethodPut, srv.URL+"/t/"+tenant+"/objects/"+name, bytes.NewReader(body))
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := put("alice", "report", data); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT = %d", resp.StatusCode)
+	}
+	if resp := put("alice", "report", data); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate PUT = %d", resp.StatusCode)
+	}
+
+	resp, err := client.Get(srv.URL + "/t/alice/objects/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(got, data) {
+		t.Fatalf("GET = %d, %d bytes", resp.StatusCode, len(got))
+	}
+
+	// Tenant scoping at the HTTP layer.
+	resp, err = client.Get(srv.URL + "/t/bob/objects/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cross-tenant GET = %d", resp.StatusCode)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/t/alice/objects/report", nil)
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE = %d", resp.StatusCode)
+	}
+	resp, err = client.Get(srv.URL + "/t/alice/objects/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET after DELETE = %d", resp.StatusCode)
+	}
+
+	for _, path := range []string{"/metrics", "/healthz"} {
+		resp, err := client.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestHTTPBackpressure: a saturated tenant gets 503 + Retry-After.
+func TestHTTPBackpressure(t *testing.T) {
+	svc, _ := testService(t, 1, Config{MaxInflight: 1, MaxQueue: -1})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	data := testPayload(2000, 9)
+	if _, err := svc.Put(context.Background(), "t", "obj", bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	// Pin the only slot with a direct service call.
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	gw := &gateWriter{gate: gate, entered: entered}
+	done := make(chan error, 1)
+	go func() {
+		_, err := svc.Get(context.Background(), "t", "obj", gw)
+		done <- err
+	}()
+	<-entered
+	resp, err := srv.Client().Get(srv.URL + "/t/t/objects/obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated GET = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeChaosSoak: the service under a deterministic fault schedule with
+// a concurrent repair scrub — every Get must return bit-exact data or an
+// explicit error, never silently wrong bytes.
+func TestServeChaosSoak(t *testing.T) {
+	g := testGraph(t)
+	reg := obs.NewRegistry()
+	inj := chaos.Wrap(archive.NewArrayBackend(device.NewArray(g.Total)), chaos.Config{
+		Seed:            11,
+		BitFlipRate:     0.002,
+		ReadCorruptRate: 0.002,
+		TruncateRate:    0.001,
+		ReadErrRate:     0.01,
+		WriteErrRate:    0.005,
+		TornWriteRate:   0.001,
+		Metrics:         reg,
+	})
+	st, err := archive.NewWithBackend(g, inj, archive.Config{BlockSize: 64, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New([]*archive.Store{st}, Config{CacheBytes: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	cap := st.Layout().StripeCapacity
+
+	const objects = 12
+	want := make([][]byte, objects)
+	for i := range want {
+		want[i] = testPayload((i%3+1)*cap+i*7, uint64(100+i))
+		name := fmt.Sprintf("obj%d", i)
+		if _, err := svc.Put(ctx, "t", name, bytes.NewReader(want[i])); err != nil {
+			t.Fatalf("put %s: %v", name, err)
+		}
+	}
+
+	// Concurrent repair scrubs while the read load runs.
+	scrubCtx, stopScrub := context.WithCancel(ctx)
+	scrubDone := make(chan struct{})
+	go func() {
+		defer close(scrubDone)
+		for scrubCtx.Err() == nil {
+			_, _ = st.ScrubCtx(scrubCtx, true)
+		}
+	}()
+
+	rng := rand.New(rand.NewPCG(12, 13))
+	silent := 0
+	errored := 0
+	for op := 0; op < 300; op++ {
+		i := rng.IntN(objects)
+		var buf bytes.Buffer
+		_, err := svc.Get(ctx, "t", fmt.Sprintf("obj%d", i), &buf)
+		if err != nil {
+			errored++ // explicit failure is allowed; silence is not
+			continue
+		}
+		if !bytes.Equal(buf.Bytes(), want[i]) {
+			silent++
+		}
+	}
+	stopScrub()
+	<-scrubDone
+	if silent > 0 {
+		t.Fatalf("%d silent corruptions under chaos + concurrent scrub (%d explicit errors)", silent, errored)
+	}
+
+	// After the faults stop, a repair scrub converges and every object
+	// verifies.
+	inj.Quiesce()
+	if _, err := st.Scrub(true); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		var buf bytes.Buffer
+		if _, err := svc.Get(ctx, "t", fmt.Sprintf("obj%d", i), &buf); err != nil {
+			t.Errorf("obj%d after quiesce: %v", i, err)
+		} else if !bytes.Equal(buf.Bytes(), want[i]) {
+			t.Errorf("obj%d bytes differ after quiesce", i)
+		}
+	}
+}
+
+// TestReplicatedPutAllOrNothing: when one replica cannot take the object,
+// no replica keeps it.
+func TestReplicatedPutAllOrNothing(t *testing.T) {
+	svc, stores := testService(t, 2, Config{})
+	ctx := context.Background()
+	// Poison replica 1 with a colliding raw key so its PutStream fails
+	// with ErrExists while replica 0 succeeds.
+	if err := stores[1].Put("t\x00obj", []byte("squatter")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Put(ctx, "t", "obj", bytes.NewReader(testPayload(3000, 10))); err == nil {
+		t.Fatal("replicated put succeeded with a failing replica")
+	}
+	if _, err := stores[0].Stat("t\x00obj"); !errors.Is(err, archive.ErrNotFound) {
+		t.Errorf("replica 0 kept a partial object: %v", err)
+	}
+}

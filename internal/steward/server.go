@@ -150,12 +150,16 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 func (s *Server) putObject(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<30))
+	// Stream the body straight into stripes — the server never buffers a
+	// whole object.
+	_, err := s.store.PutStream(r.Context(), r.PathValue("name"),
+		http.MaxBytesReader(w, r.Body, 1<<30))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	if err := s.store.Put(r.PathValue("name"), body); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+			return
+		}
 		httpError(w, err)
 		return
 	}
@@ -163,15 +167,24 @@ func (s *Server) putObject(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) getObject(w http.ResponseWriter, r *http.Request) {
-	data, stats, err := s.store.Get(r.PathValue("name"))
+	name := r.PathValue("name")
+	obj, err := s.store.Stat(name)
 	if err != nil {
 		httpError(w, err)
 		return
 	}
-	w.Header().Set("X-Devices-Accessed", strconv.Itoa(stats.DevicesAccessed))
-	w.Header().Set("X-Blocks-Repaired", strconv.Itoa(stats.BlocksRepaired))
-	w.Header().Set("X-Read-Repairs", strconv.Itoa(stats.ReadRepairs))
-	w.Write(data)
+	w.Header().Set("Content-Length", strconv.Itoa(obj.Size))
+	if n, _, err := s.store.GetStream(r.Context(), name, w); err != nil {
+		if n == 0 {
+			// Nothing on the wire yet — the error can still get a status.
+			w.Header().Del("Content-Length")
+			httpError(w, err)
+			return
+		}
+		// Stripes are already out; the truncated body (vs Content-Length)
+		// is the failure signal.
+		s.metrics.Counter("steward.get.aborted").Inc()
+	}
 }
 
 func (s *Server) deleteObject(w http.ResponseWriter, r *http.Request) {

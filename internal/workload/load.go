@@ -1,0 +1,274 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"time"
+
+	"tornado/internal/obs"
+)
+
+// ObjectService is the surface the load generator drives — satisfied by
+// serve.Service. Keeping it an interface here means workload does not
+// import serve, so either package can grow without a cycle.
+type ObjectService interface {
+	Put(ctx context.Context, tenant, name string, r io.Reader) (int, error)
+	Get(ctx context.Context, tenant, name string, w io.Writer) (int, error)
+}
+
+// Zipf samples ranks 0..n-1 with P(k) ∝ 1/(k+1)^s. math/rand/v2 dropped
+// rand.Zipf, so this precomputes the cumulative weight table once and
+// samples by binary search — O(log n) per draw, no float drift between
+// runs, and the caller supplies the uniform variate so per-worker RNGs
+// stay independent and deterministic.
+type Zipf struct {
+	cum []float64 // cum[k] = sum of weights for ranks 0..k
+}
+
+// NewZipf builds a sampler over n ranks with exponent s. s=0 is uniform;
+// larger s concentrates mass on low ranks (classic hot-key skew ~1.0).
+func NewZipf(n int, s float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: zipf needs n > 0, got %d", n)
+	}
+	if s < 0 || math.IsNaN(s) {
+		return nil, fmt.Errorf("workload: zipf exponent must be >= 0, got %v", s)
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for k := 0; k < n; k++ {
+		total += math.Pow(float64(k+1), -s)
+		cum[k] = total
+	}
+	return &Zipf{cum: cum}, nil
+}
+
+// Sample maps a uniform variate u in [0,1) to a rank.
+func (z *Zipf) Sample(u float64) int {
+	target := u * z.cum[len(z.cum)-1]
+	k := sort.SearchFloat64s(z.cum, target)
+	if k == len(z.cum) { // u ≈ 1 edge
+		k = len(z.cum) - 1
+	}
+	return k
+}
+
+// LoadSpec configures a closed-loop load run against an ObjectService.
+// Zero values get sensible defaults from normalize.
+type LoadSpec struct {
+	// Tenants are cycled across the preloaded population (and workers).
+	// Default: one tenant, "load".
+	Tenants []string
+	// Objects is the preloaded read population size. Default 64.
+	Objects int
+	// ObjectSize is the payload size of every object. Default 64 KiB.
+	ObjectSize int
+	// Ops is the total operation count across all workers. Default 256.
+	Ops int
+	// Workers is the closed-loop concurrency. Default 4.
+	Workers int
+	// ReadFraction of ops are Gets against the Zipf-ranked population;
+	// the rest ingest fresh objects. Default 0.9 (archival read tail).
+	ReadFraction float64
+	// ZipfS is the popularity exponent. Default 1.1.
+	ZipfS float64
+	// Seed makes the run deterministic. Same spec, same stream.
+	Seed uint64
+}
+
+func (s *LoadSpec) normalize() {
+	if len(s.Tenants) == 0 {
+		s.Tenants = []string{"load"}
+	}
+	if s.Objects <= 0 {
+		s.Objects = 64
+	}
+	if s.ObjectSize <= 0 {
+		s.ObjectSize = 64 << 10
+	}
+	if s.Ops <= 0 {
+		s.Ops = 256
+	}
+	if s.Workers <= 0 {
+		s.Workers = 4
+	}
+	if s.ReadFraction <= 0 || s.ReadFraction > 1 {
+		s.ReadFraction = 0.9
+	}
+	if s.ZipfS == 0 {
+		s.ZipfS = 1.1
+	}
+}
+
+// LoadResult aggregates one load run. Percentiles are exact (computed
+// from every recorded sample, not a sketch).
+type LoadResult struct {
+	Ops, Puts, Gets int
+	Errors          int // explicit op failures (tolerated under chaos)
+	Corrupted       int // silent payload mismatches — must stay 0
+	BytesWritten    int64
+	BytesRead       int64
+	Duration        time.Duration
+	OpsPerSec       float64
+	GetP50          time.Duration
+	GetP99          time.Duration
+	GetP999         time.Duration
+	PutP50          time.Duration
+	PutP99          time.Duration
+	PutP999         time.Duration
+	RepairBytes     int64 // bytes moved by read-repair during the run
+}
+
+// loadObjName names the preloaded population; rank r is the Zipf rank.
+func loadObjName(r int) string { return fmt.Sprintf("hot-%06d", r) }
+
+// RunLoad preloads a population, then drives Ops operations through svc
+// from Workers closed-loop workers: reads pick Zipf-popular objects and
+// verify them bit-for-bit against regeneration, writes ingest fresh
+// objects. If svc exposes Metrics() (serve.Service does), RepairBytes is
+// the serve.repair.bytes delta across the run. Explicit errors are
+// counted, silent corruption fails loudly in Corrupted.
+func RunLoad(ctx context.Context, svc ObjectService, spec LoadSpec) (LoadResult, error) {
+	spec.normalize()
+	z, err := NewZipf(spec.Objects, spec.ZipfS)
+	if err != nil {
+		return LoadResult{}, err
+	}
+
+	// Preload the read population. Failures here are fatal: without the
+	// population the read side of the run measures nothing.
+	var preBuf []byte
+	for r := 0; r < spec.Objects; r++ {
+		tn := spec.Tenants[r%len(spec.Tenants)]
+		name := loadObjName(r)
+		preBuf = payloadInto(preBuf, tn+"/"+name, spec.ObjectSize)
+		if _, err := svc.Put(ctx, tn, name, bytes.NewReader(preBuf)); err != nil {
+			return LoadResult{}, fmt.Errorf("workload: preload %s/%s: %w", tn, name, err)
+		}
+	}
+
+	repairBefore := int64(0)
+	type metricser interface{ Metrics() *obs.Registry }
+	if m, ok := svc.(metricser); ok {
+		repairBefore = m.Metrics().Counter("serve.repair.bytes").Value()
+	}
+
+	type workerResult struct {
+		res     LoadResult
+		getLats []time.Duration
+		putLats []time.Duration
+	}
+	results := make([]workerResult, spec.Workers)
+	perWorker := spec.Ops / spec.Workers
+	extra := spec.Ops % spec.Workers
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < spec.Workers; w++ {
+		ops := perWorker
+		if w < extra {
+			ops++
+		}
+		wg.Add(1)
+		go func(w, ops int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(spec.Seed, uint64(w)+0x10AD))
+			wr := &results[w]
+			var verifyBuf, putBuf []byte // reused: zero steady-state allocation
+			var got bytes.Buffer
+			for op := 0; op < ops; op++ {
+				if ctx.Err() != nil {
+					return
+				}
+				wr.res.Ops++
+				if rng.Float64() < spec.ReadFraction {
+					r := z.Sample(rng.Float64())
+					tn := spec.Tenants[r%len(spec.Tenants)]
+					name := loadObjName(r)
+					got.Reset()
+					t0 := time.Now()
+					_, err := svc.Get(ctx, tn, name, &got)
+					wr.getLats = append(wr.getLats, time.Since(t0))
+					if err != nil {
+						wr.res.Errors++
+						continue
+					}
+					wr.res.Gets++
+					wr.res.BytesRead += int64(got.Len())
+					verifyBuf = payloadInto(verifyBuf, tn+"/"+name, got.Len())
+					if !bytes.Equal(got.Bytes(), verifyBuf) {
+						wr.res.Corrupted++
+					}
+				} else {
+					tn := spec.Tenants[w%len(spec.Tenants)]
+					name := fmt.Sprintf("ingest-w%d-%06d", w, op)
+					putBuf = payloadInto(putBuf, tn+"/"+name, spec.ObjectSize)
+					t0 := time.Now()
+					n, err := svc.Put(ctx, tn, name, bytes.NewReader(putBuf))
+					wr.putLats = append(wr.putLats, time.Since(t0))
+					if err != nil {
+						wr.res.Errors++
+						continue
+					}
+					wr.res.Puts++
+					wr.res.BytesWritten += int64(n)
+				}
+			}
+		}(w, ops)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total LoadResult
+	var getLats, putLats []time.Duration
+	for _, wr := range results {
+		total.Ops += wr.res.Ops
+		total.Puts += wr.res.Puts
+		total.Gets += wr.res.Gets
+		total.Errors += wr.res.Errors
+		total.Corrupted += wr.res.Corrupted
+		total.BytesRead += wr.res.BytesRead
+		total.BytesWritten += wr.res.BytesWritten
+		getLats = append(getLats, wr.getLats...)
+		putLats = append(putLats, wr.putLats...)
+	}
+	total.Duration = elapsed
+	if elapsed > 0 {
+		total.OpsPerSec = float64(total.Ops) / elapsed.Seconds()
+	}
+	total.GetP50, total.GetP99, total.GetP999 = exactPercentiles(getLats)
+	total.PutP50, total.PutP99, total.PutP999 = exactPercentiles(putLats)
+	if m, ok := svc.(metricser); ok {
+		total.RepairBytes = m.Metrics().Counter("serve.repair.bytes").Value() - repairBefore
+	}
+	if err := ctx.Err(); err != nil {
+		return total, err
+	}
+	return total, nil
+}
+
+// exactPercentiles sorts the recorded samples and indexes them — exact by
+// the nearest-rank definition, no sketch error.
+func exactPercentiles(lats []time.Duration) (p50, p99, p999 time.Duration) {
+	if len(lats) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rank := func(q float64) time.Duration {
+		i := int(math.Ceil(q*float64(len(lats)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(lats) {
+			i = len(lats) - 1
+		}
+		return lats[i]
+	}
+	return rank(0.50), rank(0.99), rank(0.999)
+}

@@ -34,6 +34,7 @@ func Run(store *archive.Store, devices device.Array, spec Spec) (Result, error) 
 	}
 	rng := rand.New(rand.NewPCG(spec.Seed, 0xD1CE))
 	var res Result
+	var putBuf, verifyBuf []byte // reused across ops; payloads are regenerated, never stored
 	for {
 		op, ok := gen.Next()
 		if !ok {
@@ -41,12 +42,12 @@ func Run(store *archive.Store, devices device.Array, spec Spec) (Result, error) 
 		}
 		switch op.Kind {
 		case OpPut:
-			data := payloadFor(op.Object, op.Size)
-			if err := store.Put(op.Object, data); err != nil {
+			putBuf = payloadInto(putBuf, op.Object, op.Size)
+			if err := store.Put(op.Object, putBuf); err != nil {
 				return res, fmt.Errorf("workload: put %s: %w", op.Object, err)
 			}
 			res.Puts++
-			res.BytesIn += int64(len(data))
+			res.BytesIn += int64(len(putBuf))
 		case OpGet:
 			got, stats, err := store.Get(op.Object)
 			if err != nil {
@@ -56,7 +57,8 @@ func Run(store *archive.Store, devices device.Array, spec Spec) (Result, error) 
 			res.Gets++
 			res.BytesOut += int64(len(got))
 			res.DevicesAccessed += int64(stats.DevicesAccessed)
-			if !bytes.Equal(got, payloadFor(op.Object, len(got))) {
+			verifyBuf = payloadInto(verifyBuf, op.Object, len(got))
+			if !bytes.Equal(got, verifyBuf) {
 				res.Corrupted++
 			}
 		case OpFail:
@@ -91,12 +93,21 @@ func Run(store *archive.Store, devices device.Array, spec Spec) (Result, error) 
 // payloadFor deterministically regenerates an object's content from its
 // name, so verification needs no copy of the data.
 func payloadFor(name string, size int) []byte {
+	return payloadInto(nil, name, size)
+}
+
+// payloadInto regenerates the payload into dst's storage when it fits,
+// so steady-state generation and verification allocate nothing.
+func payloadInto(dst []byte, name string, size int) []byte {
 	h := fnv.New64a()
 	h.Write([]byte(name))
 	rng := rand.New(rand.NewPCG(h.Sum64(), 7))
-	b := make([]byte, size)
-	for i := range b {
-		b[i] = byte(rng.IntN(256))
+	if cap(dst) < size {
+		dst = make([]byte, size)
 	}
-	return b
+	dst = dst[:size]
+	for i := range dst {
+		dst[i] = byte(rng.IntN(256))
+	}
+	return dst
 }

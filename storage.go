@@ -1,6 +1,7 @@
 package tornado
 
 import (
+	"context"
 	"io"
 	"math/rand/v2"
 
@@ -15,6 +16,8 @@ import (
 	"tornado/internal/maid"
 	"tornado/internal/raid"
 	"tornado/internal/retrieval"
+	"tornado/internal/serve"
+	"tornado/internal/workload"
 )
 
 // Data-path and storage-system types.
@@ -60,6 +63,19 @@ type (
 	SoakConfig = soak.Config
 	// SoakReport is one campaign's outcome; Check() enforces its invariants.
 	SoakReport = soak.Report
+	// StreamOption tunes PutStream/GetStream (e.g. WithStreamParallelism).
+	StreamOption = archive.StreamOption
+	// ServeService is the multi-tenant archive front door: per-tenant
+	// namespaces and admission control, a bounded hot-stripe cache wired to
+	// read-repair, and request hedging across replica stores.
+	ServeService = serve.Service
+	// ServeConfig tunes the serving layer; zero values take the exported
+	// serve defaults.
+	ServeConfig = serve.Config
+	// LoadSpec configures a Zipf load-generator run against a ServeService.
+	LoadSpec = workload.LoadSpec
+	// LoadResult aggregates one load run (exact p50/p99/p999 latencies).
+	LoadResult = workload.LoadResult
 )
 
 // Fault-tolerance error sentinels.
@@ -72,7 +88,40 @@ var (
 	ErrInjected = chaos.ErrInjected
 	// ErrNodeLost is a chaos-injected permanent node loss.
 	ErrNodeLost = chaos.ErrNodeLost
+	// ErrNotFound reports a missing object.
+	ErrNotFound = archive.ErrNotFound
+	// ErrExists reports an ingest colliding with a stored object.
+	ErrExists = archive.ErrExists
+	// ErrDataLoss reports an object the erasure code can no longer recover.
+	ErrDataLoss = archive.ErrDataLoss
+	// ErrOverloaded is the serving layer shedding load (HTTP 503).
+	ErrOverloaded = serve.ErrOverloaded
+	// ErrUnknownTenant rejects a tenant outside a fixed tenant set.
+	ErrUnknownTenant = serve.ErrUnknownTenant
 )
+
+// Streaming data-path defaults.
+const (
+	// DefaultStreamParallelism is the stripe pipeline width of
+	// PutStream/GetStream when no WithStreamParallelism option is given.
+	DefaultStreamParallelism = archive.DefaultStreamParallelism
+)
+
+// WithStreamParallelism bounds a PutStream/GetStream pipeline to n
+// concurrent stripes — peak memory is O(n × stripe), never O(object).
+func WithStreamParallelism(n int) StreamOption { return archive.WithParallelism(n) }
+
+// NewService fronts one or more replica archives (identical layouts) with
+// the multi-tenant serving layer.
+func NewService(stores []*Archive, cfg ServeConfig) (*ServeService, error) {
+	return serve.New(stores, cfg)
+}
+
+// RunLoad drives a deterministic Zipf read/write load against a
+// ServeService, verifying every retrieved payload bit-for-bit.
+func RunLoad(ctx context.Context, svc *ServeService, spec LoadSpec) (LoadResult, error) {
+	return workload.RunLoad(ctx, svc, spec)
+}
 
 // NewChaosBackend wraps inner with a seeded, deterministic fault injector —
 // composable over the device-array and MAID backends alike.
@@ -83,6 +132,12 @@ func NewChaosBackend(inner StorageBackend, cfg ChaosConfig) *ChaosInjector {
 // RunSoak executes one seeded chaos campaign against a fresh archive stack
 // and returns its report; call Report.Check for the invariant verdict.
 func RunSoak(cfg SoakConfig) (SoakReport, error) { return soak.Run(cfg) }
+
+// RunSoakCtx is RunSoak with cancellation between campaign operations; a
+// run that completes is byte-identical to an uncancelled one.
+func RunSoakCtx(ctx context.Context, cfg SoakConfig) (SoakReport, error) {
+	return soak.RunCtx(ctx, cfg)
+}
 
 // DefaultSoakFaults is the moderate-rate fault schedule soak campaigns use
 // by default.
