@@ -33,13 +33,16 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDefectKernelMatchesReference -fuzztime $(FUZZTIME) ./internal/defect/
 
 # bench measures the certification-scan and defect-scan hot paths (map/
-# decoder baselines vs the incremental kernels) and the serving layer
-# (Zipf load generator over a chaos backend with a concurrent scrub, plus
-# the stream/encode data-path loops), writing BENCH_decode.json,
-# BENCH_defect.json, and BENCH_serve.json; -check enforces the
-# zero-allocation invariant on the steady-state kernel paths, the
-# bit-exact-or-error invariant on the chaos load run, and the
-# backend-contract allocation budget on the stream stripe loop.
+# decoder baselines vs the incremental kernels), the serving layer (Zipf
+# load generator over a chaos backend with a concurrent scrub, plus the
+# stream/encode data-path loops), and the repair economics (the extended
+# RAID comparison plus a measured single-device-loss accounting run),
+# writing BENCH_decode.json, BENCH_defect.json, BENCH_serve.json, and
+# BENCH_repair.json; -check enforces the zero-allocation invariant on the
+# steady-state kernel paths, the bit-exact-or-error invariant on the
+# chaos load run, the backend-contract allocation budget on the stream
+# stripe loop, exact repair-byte attribution, and the degree-aware
+# placement's cross-group read reduction.
 bench:
 	$(GO) run ./cmd/benchreport -check
 

@@ -127,6 +127,7 @@ func main() {
 	out := flag.String("o", "BENCH_decode.json", "report output path")
 	defectOut := flag.String("defect-o", "BENCH_defect.json", "defect-scan report output path")
 	serveOut := flag.String("serve-o", "BENCH_serve.json", "serve-layer report output path")
+	repairOut := flag.String("repair-o", "BENCH_repair.json", "repair-economics report output path")
 	check := flag.Bool("check", false, "exit nonzero if a steady-state kernel benchmark allocates")
 	flag.Parse()
 
@@ -197,6 +198,22 @@ func main() {
 	srep := serveSection(g)
 	writeJSON(*serveOut, srep)
 
+	// The repair-economics report: the extended RAID comparison plus the
+	// measured single-device-loss accounting run.
+	rrep := repairSection(g)
+	for _, row := range rrep.Systems {
+		label := row.System
+		if row.Placement != "" {
+			label += "/" + row.Placement
+		}
+		fmt.Printf("repair: %-28s overhead %.2fx tolerance %d reads/loss %5.2f (remote %5.2f)\n",
+			label, row.StorageOverhead, row.Tolerance, row.RepairReadsPerLoss, row.RemoteReadsPerLoss)
+	}
+	fmt.Printf("repair measured: %.2f surplus reads/loss, %.3f repair bytes/lost byte, unattributed %d read / %d written\n",
+		rrep.Measured.RepairReadsPerLoss, rrep.Measured.RepairBytesPerLostByte,
+		rrep.Measured.UnattributedReadBytes, rrep.Measured.UnattributedWriteBytes)
+	writeJSON(*repairOut, rrep)
+
 	if *check {
 		failed := false
 		all := append(append([]result(nil), rep.Benchmarks...), drep.Benchmarks...)
@@ -217,6 +234,31 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchreport: stream stripe loop allocates %.2f/stripe, over the backend-contract budget of %.0f (one key string per node + one caller-owned read copy per block); the archive layer must add no per-stripe allocation of its own\n",
 				srep.StreamAllocsPerStripe, srep.StreamAllocBudgetPerStripe)
 			failed = true
+		}
+		// Repair-economics gates: every backend byte the measured run moved
+		// must be attributed (the conservation law), and the degree-aware
+		// placement must actually reduce cross-group single-loss repair
+		// traffic versus the identity layout on every certified graph.
+		if rrep.Measured.UnattributedReadBytes != 0 || rrep.Measured.UnattributedWriteBytes != 0 {
+			fmt.Fprintf(os.Stderr, "benchreport: repair accounting leaked %d read / %d written bytes unattributed; the meter must conserve exactly\n",
+				rrep.Measured.UnattributedReadBytes, rrep.Measured.UnattributedWriteBytes)
+			failed = true
+		}
+		identityRemote := map[string]float64{}
+		for _, row := range rrep.Systems {
+			if row.Placement == "identity" {
+				identityRemote[row.System] = row.RemoteReadsPerLoss
+			}
+		}
+		for _, row := range rrep.Systems {
+			if row.Placement != "degree-aware" {
+				continue
+			}
+			if row.RemoteReadsPerLoss >= identityRemote[row.System] {
+				fmt.Fprintf(os.Stderr, "benchreport: degree-aware placement on %s reads %.2f remote blocks/loss, not below identity's %.2f; co-location regressed\n",
+					row.System, row.RemoteReadsPerLoss, identityRemote[row.System])
+				failed = true
+			}
 		}
 		if failed {
 			os.Exit(1)

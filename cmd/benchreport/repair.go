@@ -1,0 +1,314 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"tornado"
+	"tornado/internal/archive"
+	"tornado/internal/device"
+	"tornado/internal/graph"
+	"tornado/internal/placement"
+	"tornado/internal/raid"
+	"tornado/internal/repairbw"
+)
+
+// repairReport is the BENCH_repair.json payload: the repair-economics
+// section. It extends the paper's 96-drive RAID comparison (Table 5) with
+// a repair-bandwidth axis — blocks read per single loss under the
+// placement cost model — alongside storage overhead and loss tolerance,
+// and backs the model with a measured single-device-loss run whose
+// byte-level accounting must conserve exactly (-check).
+type repairReport struct {
+	GeneratedUnix int64  `json:"generated_unix"`
+	GoVersion     string `json:"go_version"`
+	GroupSize     int    `json:"group_size"`
+
+	// Systems is the extended RAID comparison: the three certified
+	// tornado96 graphs (under both placements) and the paper's baselines.
+	Systems []repairSystemRow `json:"systems"`
+
+	Measured repairMeasured `json:"measured"`
+}
+
+// repairSystemRow is one line of the repair-bandwidth / storage-overhead /
+// reliability table.
+type repairSystemRow struct {
+	System    string `json:"system"`
+	Placement string `json:"placement,omitempty"`
+	Drives    int    `json:"drives"`
+	Data      int    `json:"data_drives"`
+	// StorageOverhead is raw drives per usable drive (2.0 = 100% overhead).
+	StorageOverhead float64 `json:"storage_overhead"`
+	// Tolerance is the guaranteed loss count: the largest k with zero
+	// data-loss probability (certified first-failure minus one for the
+	// tornado graphs, analytic for the RAID baselines).
+	Tolerance int `json:"tolerance"`
+	// RepairReadsPerLoss is blocks read to rebuild one lost block,
+	// averaged over every possible single loss (repair bytes per lost
+	// byte, in block-size units).
+	RepairReadsPerLoss float64 `json:"repair_reads_per_loss"`
+	// RemoteReadsPerLoss is the subset served from outside the lost
+	// block's device group — the cross-shelf repair traffic placement
+	// tries to minimize. Zero for the RAID baselines, whose groups are
+	// their LUNs.
+	RemoteReadsPerLoss float64 `json:"remote_reads_per_loss"`
+	MaxRepairReads     int     `json:"max_repair_reads"`
+}
+
+// repairMeasured is the measured half: a single-device loss driven through
+// the real store with a byte-counting shim under it, so the repair meter's
+// attribution can be checked against ground truth.
+type repairMeasured struct {
+	Objects     int   `json:"objects"`
+	StripeReads int   `json:"stripe_reads"` // degraded stripe decodes
+	FrameSize   int   `json:"frame_size"`
+	LostBytes   int64 `json:"lost_bytes"` // bytes on the failed device
+
+	// Degraded-read amplification: surplus blocks/bytes the failed device
+	// cost each stripe decode beyond the information-theoretic floor.
+	DegradedSurplusBlocks  int64   `json:"degraded_surplus_blocks"`
+	DegradedSurplusBytes   int64   `json:"degraded_surplus_bytes"`
+	RepairReadsPerLoss     float64 `json:"repair_reads_per_loss"`
+	RepairBytesPerLostByte float64 `json:"repair_bytes_per_lost_byte"`
+
+	// Scrub rebuild of the replaced device.
+	ScrubReadBytes    int64 `json:"scrub_read_bytes"`
+	ScrubWrittenBytes int64 `json:"scrub_written_bytes"`
+	BlocksRebuilt     int   `json:"blocks_rebuilt"`
+
+	// Conservation: backend bytes not explained by the decode floor plus
+	// the meter's attribution. Both must be zero (-check).
+	UnattributedReadBytes  int64 `json:"unattributed_read_bytes"`
+	UnattributedWriteBytes int64 `json:"unattributed_write_bytes"`
+}
+
+// meterShim counts every byte that actually crosses into the backend on
+// successful operations — the ground truth the repair meter conserves
+// against (same construction as the chaos conservation test).
+type meterShim struct {
+	archive.Backend
+	readOps, writeOps     int64
+	readBytes, writeBytes int64
+}
+
+func (m *meterShim) Read(ctx context.Context, node int, key []byte) ([]byte, error) {
+	b, err := m.Backend.Read(ctx, node, key)
+	if err == nil {
+		m.readOps++
+		m.readBytes += int64(len(b))
+	}
+	return b, err
+}
+
+func (m *meterShim) Write(ctx context.Context, node int, key []byte, data []byte) error {
+	err := m.Backend.Write(ctx, node, key, data)
+	if err == nil {
+		m.writeOps++
+		m.writeBytes += int64(len(data))
+	}
+	return err
+}
+
+// certTolerance parses "first-failure: N" out of a shipped certificate and
+// returns N-1 — the largest loss count with zero certified failures.
+func certTolerance(name string) (int, error) {
+	cert, err := tornado.PrecompiledCertificate(name)
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(cert, "\n") {
+		if rest, ok := strings.CutPrefix(line, "first-failure:"); ok {
+			ff, err := strconv.Atoi(strings.TrimSpace(rest))
+			if err != nil {
+				return 0, fmt.Errorf("bad first-failure in %s cert: %w", name, err)
+			}
+			return ff - 1, nil
+		}
+	}
+	return 0, fmt.Errorf("no first-failure line in %s cert", name)
+}
+
+// analyticTolerance finds the largest k with zero data-loss probability
+// under the scheme's exact failure model.
+func analyticTolerance(s raid.Scheme) int {
+	for k := 1; k <= s.Drives; k++ {
+		if s.FailGivenK(k) > 0 {
+			return k - 1
+		}
+	}
+	return s.Drives
+}
+
+// placementRows evaluates one certified graph under both placements.
+func placementRows(name string, g *graph.Graph, groupSize int) []repairSystemRow {
+	row := func(p placement.Placement) repairSystemRow {
+		tol, err := certTolerance(name)
+		if err != nil {
+			fatal(err)
+		}
+		s := placement.SingleLossStats(g, p, groupSize)
+		return repairSystemRow{
+			System:             name,
+			Placement:          p.Name(),
+			Drives:             g.Total,
+			Data:               g.Data,
+			StorageOverhead:    float64(g.Total) / float64(g.Data),
+			Tolerance:          tol,
+			RepairReadsPerLoss: s.MeanRepairReads,
+			RemoteReadsPerLoss: s.MeanRemoteReads,
+			MaxRepairReads:     s.MaxRepairReads,
+		}
+	}
+	return []repairSystemRow{
+		row(placement.NewIdentity(g.Total)),
+		row(placement.DegreeAware(g, groupSize)),
+	}
+}
+
+// repairSection builds the repair-economics report. The caller applies the
+// -check gates (zero unattributed bytes; degree-aware placement reduces
+// cross-group single-loss reads).
+func repairSection(g *graph.Graph) repairReport {
+	rep := repairReport{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GroupSize:     placement.DefaultGroupSize,
+	}
+
+	for _, name := range []string{"tornado96-1", "tornado96-2", "tornado96-3"} {
+		pg, err := tornado.LoadPrecompiled(name)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Systems = append(rep.Systems, placementRows(name, pg, rep.GroupSize)...)
+	}
+	// The paper's baselines. Their single-loss repair reads are structural:
+	// a mirror reads its twin (1); RAID5 over 12-disk LUNs XORs the other
+	// 11; RAID6 rebuilds one loss from the 10 surviving data+P members.
+	// Repair stays inside the LUN, so remote reads are zero by definition.
+	baseline := map[string]float64{"Mirrored": 1, "RAID5": 11, "RAID6": 10}
+	for _, s := range raid.Paper96Schemes() {
+		reads, ok := baseline[s.Name]
+		if !ok {
+			continue // striping cannot repair; no row
+		}
+		rep.Systems = append(rep.Systems, repairSystemRow{
+			System:             s.Name,
+			Drives:             s.Drives,
+			Data:               s.Data,
+			StorageOverhead:    float64(s.Drives) / float64(s.Data),
+			Tolerance:          analyticTolerance(s),
+			RepairReadsPerLoss: reads,
+			RemoteReadsPerLoss: 0,
+			MaxRepairReads:     int(reads),
+		})
+	}
+
+	rep.Measured = measureSingleLoss(g)
+	return rep
+}
+
+// measureSingleLoss drives the real store through a single-device loss:
+// degraded reads while the device is down, then a scrub rebuild after
+// replacement, with every backend byte checked against the repair meter.
+func measureSingleLoss(g *graph.Graph) repairMeasured {
+	devs := device.NewArray(g.Total)
+	shim := &meterShim{Backend: archive.NewArrayBackend(devs)}
+	st, err := archive.NewWithBackend(g, shim, archive.Config{BlockSize: 64})
+	if err != nil {
+		fatal(err)
+	}
+	meter := st.RepairMeter()
+	frameSize := int64(st.FrameSize())
+	ctx := context.Background()
+	m := repairMeasured{Objects: 24, FrameSize: int(frameSize)}
+
+	capacity := st.Layout().StripeCapacity
+	rng := rand.New(rand.NewPCG(2006, 17))
+	names := make([]string, m.Objects)
+	stripes := make([]int, m.Objects)
+	for i := range names {
+		names[i] = fmt.Sprintf("repair-%02d", i)
+		size := 1 + rng.IntN(3*capacity)
+		data := make([]byte, size)
+		for j := range data {
+			data[j] = byte(rng.IntN(256))
+		}
+		if err := st.Put(names[i], data); err != nil {
+			fatal(err)
+		}
+		stripes[i] = (size + capacity - 1) / capacity
+	}
+
+	// Lose one device (identity placement: device 0 serves data node 0)
+	// and rot one frame per stripe on another: the loss alone costs no
+	// extra reads — the planner swaps in a same-size recovery set — so the
+	// bit rot is what makes the degraded machinery (checksum detection,
+	// fallback planning, read-repair) actually move surplus bytes.
+	const lost, rotted = 0, 1
+	m.LostBytes = frameSize * int64(totalStripes(stripes))
+	devs[lost].Fail()
+	garbage := make([]byte, frameSize)
+	for i, name := range names {
+		for st := 0; st < stripes[i]; st++ {
+			key := []byte(fmt.Sprintf("%s/%d/%d", name, st, rotted))
+			if err := devs[rotted].Write(key, garbage); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	preBytes, preWrites := shim.readBytes, shim.writeBytes
+	preDG := meter.Totals(repairbw.DegradedGet)
+	preRR := meter.Totals(repairbw.ReadRepair)
+	floor := 0
+	for round := 0; round < 2; round++ {
+		for i, name := range names {
+			if _, _, err := st.GetCtx(ctx, name); err != nil {
+				fatal(fmt.Errorf("degraded get %s: %w", name, err))
+			}
+			floor += stripes[i]
+		}
+	}
+	dg := meter.Totals(repairbw.DegradedGet)
+	rr := meter.Totals(repairbw.ReadRepair)
+	m.StripeReads = floor
+	m.DegradedSurplusBlocks = int64(dg.BlocksRead - preDG.BlocksRead)
+	m.DegradedSurplusBytes = dg.BytesRead - preDG.BytesRead
+	m.RepairReadsPerLoss = float64(m.DegradedSurplusBlocks) / float64(floor)
+	m.RepairBytesPerLostByte = float64(m.DegradedSurplusBytes) / float64(int64(floor)*frameSize)
+	m.UnattributedReadBytes = (shim.readBytes - preBytes) -
+		int64(floor*g.Data)*frameSize - m.DegradedSurplusBytes
+	m.UnattributedWriteBytes = (shim.writeBytes - preWrites) -
+		(rr.BytesWritten - preRR.BytesWritten)
+
+	// Replace the device and rebuild it with a repairing scrub.
+	devs[lost].Replace()
+	preScrub := meter.Totals(repairbw.Scrub)
+	scrubReadsBefore, scrubWritesBefore := shim.readBytes, shim.writeBytes
+	srep, err := st.ScrubCtx(ctx, true)
+	if err != nil {
+		fatal(err)
+	}
+	sc := meter.Totals(repairbw.Scrub)
+	m.ScrubReadBytes = sc.BytesRead - preScrub.BytesRead
+	m.ScrubWrittenBytes = sc.BytesWritten - preScrub.BytesWritten
+	m.BlocksRebuilt = srep.BlocksRepaired
+	m.UnattributedReadBytes += (shim.readBytes - scrubReadsBefore) - m.ScrubReadBytes
+	m.UnattributedWriteBytes += (shim.writeBytes - scrubWritesBefore) - m.ScrubWrittenBytes
+	return m
+}
+
+func totalStripes(stripes []int) int {
+	n := 0
+	for _, s := range stripes {
+		n += s
+	}
+	return n
+}

@@ -59,16 +59,19 @@ type serveReport struct {
 	Benchmarks []result `json:"benchmarks"`
 	// StreamStripes is the object length (in stripes) of the stream loop
 	// benchmark; StreamAllocsPerStripe is its allocs/op divided by that.
-	// The Backend contract makes some per-stripe allocation irreducible:
-	// each stripe materializes one key string per node (backends retain
-	// keys in their maps, so the store cannot alias a reused buffer) and
-	// Read hands back a caller-owned copy per block (the device owns its
-	// buffer). StreamAllocBudgetPerStripe is that contract ceiling —
-	// 2×nodes — and -check fails when the measured figure exceeds it,
-	// which catches any archive-layer work (planning, decode, framing)
-	// re-growing per-stripe allocations. The planner regression this gate
-	// was built against measured 869 allocs/stripe; the contract floor on
-	// the 96-node graph is ~144.
+	// The Backend contract makes one per-stripe allocation class
+	// irreducible: Read hands back a caller-owned copy per block (the
+	// device owns its buffer), so a healthy stripe costs one copy per
+	// data node. Keys cost nothing — the []byte-key contract lets the
+	// store rewrite one reused buffer per stripe and backends look up via
+	// m[string(k)], which the compiler keeps allocation-free.
+	// StreamAllocBudgetPerStripe is that contract floor (data nodes) plus
+	// a small amortized slack, and -check fails when the measured figure
+	// exceeds it, which catches any archive-layer work (planning, decode,
+	// framing, key building) re-growing per-stripe allocations. History:
+	// the planner regression this gate was built against measured 869
+	// allocs/stripe; string keys cost 2×nodes ≈ 192; the []byte-key
+	// contract landed at ~49 on the 96-node graph.
 	StreamStripes              int     `json:"stream_stripes"`
 	StreamAllocsPerStripe      float64 `json:"stream_allocs_per_stripe"`
 	StreamAllocBudgetPerStripe float64 `json:"stream_alloc_budget_per_stripe"`
@@ -154,7 +157,7 @@ func serveSection(g *graph.Graph) serveReport {
 		run("encode_hot_loop", 1, true, func(b *testing.B) { benchEncodeHotLoop(b, g) }),
 		run("stream_get_loop", streamStripes, false, func(b *testing.B) { benchStreamGetLoop(b, g, streamStripes) }),
 	)
-	rep.StreamAllocBudgetPerStripe = float64(2 * g.Total)
+	rep.StreamAllocBudgetPerStripe = float64(g.Data + 12)
 	for _, r := range rep.Benchmarks {
 		if r.Name == "stream_get_loop" {
 			rep.StreamAllocsPerStripe = float64(r.AllocsPerOp) / float64(streamStripes)

@@ -49,7 +49,7 @@ func main() {
 		}
 		// Load the stripe (bulk load spins each drive once).
 		for node, b := range blocks {
-			if err := shelf.Write(node, "stripe0", b); err != nil {
+			if err := shelf.Write(node, []byte("stripe0"), b); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -81,7 +81,7 @@ func main() {
 
 		fetched := make([][]byte, g.Total)
 		for _, node := range toRead {
-			b, err := shelf.Read(node, "stripe0")
+			b, err := shelf.Read(node, []byte("stripe0"))
 			if err != nil {
 				log.Fatal(err)
 			}

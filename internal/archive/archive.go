@@ -29,6 +29,8 @@ import (
 	"tornado/internal/device"
 	"tornado/internal/graph"
 	"tornado/internal/obs"
+	"tornado/internal/placement"
+	"tornado/internal/repairbw"
 	"tornado/internal/retrieval"
 )
 
@@ -66,6 +68,10 @@ type GetStats struct {
 	CorruptBlocks   int // blocks failing their checksum (treated as erased)
 	ReadRepairs     int // reconstructed blocks written back to their home node
 	Retries         int // transient backend errors retried
+	// Repair is the byte-level repair bill of this Get: read amplification
+	// beyond the healthy-stripe baseline (degraded-get) plus read-repair
+	// write-backs, as attributed to the store's repairbw.Meter.
+	Repair repairbw.CostReport
 }
 
 // Config tunes a Store.
@@ -104,6 +110,17 @@ type Config struct {
 	// Metrics receives the store's self-healing and scrub counters. Nil
 	// gets a private registry (still readable via Store.Metrics).
 	Metrics *obs.Registry
+	// Placement maps graph nodes onto backend device slots. Nil means the
+	// identity layout (node v on device v) — the seed behaviour. A
+	// degree-aware layout (internal/placement.DegreeAware) co-locates each
+	// check family so single-loss repairs stay group-local. Block keys keep
+	// the logical node ID; placement only chooses which device serves it.
+	Placement placement.Placement
+	// RepairMeter receives the store's byte-level repair-traffic attribution
+	// (scrub, read-repair, degraded gets, federation block exchange). Nil
+	// creates one on the Metrics registry; share one Meter across stores to
+	// aggregate a fleet.
+	RepairMeter *repairbw.Meter
 }
 
 // Store is the archival object store. It is safe for concurrent use.
@@ -113,6 +130,9 @@ type Store struct {
 	backend Backend
 	devices device.Array // non-nil only for array-backed stores
 	cfg     Config
+	place   placement.Placement
+	nodeDev []int // node -> backend device slot (place, flattened)
+	meter   *repairbw.Meter
 
 	mu      sync.Mutex
 	objects map[string]*Object
@@ -170,11 +190,30 @@ func NewWithBackend(g *graph.Graph, backend Backend, cfg Config) (*Store, error)
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	place := cfg.Placement
+	if place == nil {
+		place = placement.NewIdentity(g.Total)
+	}
+	if place.Nodes() != g.Total {
+		return nil, fmt.Errorf("archive: placement %q covers %d nodes for a %d-node graph",
+			place.Name(), place.Nodes(), g.Total)
+	}
+	nodeDev := make([]int, g.Total)
+	for v := range nodeDev {
+		nodeDev[v] = place.Device(v)
+	}
+	meter := cfg.RepairMeter
+	if meter == nil {
+		meter = repairbw.NewMeter(reg)
+	}
 	s := &Store{
 		g:            g,
 		codec:        c,
 		backend:      backend,
 		cfg:          cfg,
+		place:        place,
+		nodeDev:      nodeDev,
+		meter:        meter,
 		objects:      map[string]*Object{},
 		corruptCount: make([]int, g.Total),
 		quarantined:  make([]bool, g.Total),
@@ -200,6 +239,33 @@ func (s *Store) Graph() *graph.Graph { return s.g }
 // Devices returns the store's device array when it was built with New, or
 // nil for custom backends.
 func (s *Store) Devices() device.Array { return s.devices }
+
+// Placement returns the node-to-device layout the store was built with.
+func (s *Store) Placement() placement.Placement { return s.place }
+
+// RepairMeter returns the store's repair-traffic ledger (also exported as
+// repairbw.* counters on the metric registry).
+func (s *Store) RepairMeter() *repairbw.Meter { return s.meter }
+
+// RepairPressure is a cheap replica-selection signal: the total repair
+// bytes the read path has moved (degraded-get amplification plus
+// read-repair write-backs). A replica with higher pressure is paying for
+// damage on its reads, so hedged readers prefer a lower-pressure peer. The
+// value is cumulative and monotonic; callers compare replicas, not epochs.
+func (s *Store) RepairPressure() int64 {
+	return s.meter.Totals(repairbw.DegradedGet).Bytes() + s.meter.Totals(repairbw.ReadRepair).Bytes()
+}
+
+// dev maps a logical graph node to the backend device slot serving it.
+func (s *Store) dev(node int) int { return s.nodeDev[node] }
+
+// frameSize is the on-device size of one framed block.
+func (s *Store) frameSize() int64 { return int64(s.cfg.BlockSize + frameOverhead) }
+
+// FrameSize returns the on-device size of one framed block (block size plus
+// checksum framing) — the unit behind every byte figure the repair meter
+// reports, so accounting tests and benchmarks can compute exact expectations.
+func (s *Store) FrameSize() int { return s.cfg.BlockSize + frameOverhead }
 
 // Metrics returns the store's metric registry: self-healing counters
 // (archive.detected.corrupt_frames, archive.read_repair.blocks,
@@ -241,9 +307,11 @@ func (s *Store) putFailureLimit() int {
 // still clean up after itself.
 func (s *Store) discardBlocks(ctx context.Context, name string, stripes int) {
 	ctx = context.WithoutCancel(ctx)
+	var keys keyBuf
 	for st := 0; st < stripes; st++ {
+		keys.stripe(name, st)
 		for node := 0; node < s.g.Total; node++ {
-			_ = s.backend.Delete(ctx, node, blockKey(name, st, node))
+			_ = s.backend.Delete(ctx, s.dev(node), keys.key(node))
 		}
 	}
 }
@@ -389,13 +457,13 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 // bounded exponential backoff. Cancellation is honored between attempts and
 // during backoff sleeps. Any other error (failed device, missing block)
 // returns immediately — the caller treats the block as an erasure.
-func (s *Store) readFramed(ctx context.Context, node int, key string, stats *GetStats) ([]byte, error) {
+func (s *Store) readFramed(ctx context.Context, node int, key []byte, stats *GetStats) ([]byte, error) {
 	backoff := s.cfg.RetryBackoff
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		framed, err := s.backend.Read(ctx, node, key)
+		framed, err := s.backend.Read(ctx, s.dev(node), key)
 		if err == nil || !errors.Is(err, ErrTransient) {
 			return framed, err
 		}
@@ -416,7 +484,7 @@ func (s *Store) readFramed(ctx context.Context, node int, key string, stats *Get
 // writeFramed frames and writes a payload, retrying transient errors with
 // the same bounded backoff as reads. frameBlock copies the payload, so
 // callers may pass buffers that alias read frames (see unframeBlock).
-func (s *Store) writeFramed(ctx context.Context, node int, key string, payload []byte) error {
+func (s *Store) writeFramed(ctx context.Context, node int, key []byte, payload []byte) error {
 	return s.writeFrame(ctx, node, key, frameBlock(payload))
 }
 
@@ -424,18 +492,18 @@ func (s *Store) writeFramed(ctx context.Context, node int, key string, payload [
 // streaming put path's allocation-free variant (the Backend contract lets
 // the buffer be reused once Write returns). The possibly-grown buffer is
 // returned for reuse.
-func (s *Store) writeFramedBuf(ctx context.Context, node int, key string, payload, buf []byte) ([]byte, error) {
+func (s *Store) writeFramedBuf(ctx context.Context, node int, key []byte, payload, buf []byte) ([]byte, error) {
 	buf = frameAppend(buf, payload)
 	return buf, s.writeFrame(ctx, node, key, buf)
 }
 
-func (s *Store) writeFrame(ctx context.Context, node int, key string, framed []byte) error {
+func (s *Store) writeFrame(ctx context.Context, node int, key []byte, framed []byte) error {
 	backoff := s.cfg.RetryBackoff
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		err := s.backend.Write(ctx, node, key, framed)
+		err := s.backend.Write(ctx, s.dev(node), key, framed)
 		if err == nil || !errors.Is(err, ErrTransient) {
 			return err
 		}
@@ -456,17 +524,22 @@ func (s *Store) planCost(node int) float64 {
 	if s.isQuarantined(node) {
 		return math.Inf(1)
 	}
-	return s.backend.Cost(node)
+	return s.backend.Cost(s.dev(node))
 }
 
-func blockKey(name string, stripe, node int) string {
-	return fmt.Sprintf("%s/%d/%d", name, stripe, node)
+// blockKey builds one block key ("name/stripe/node") in a fresh buffer —
+// the convenience form for cold paths and tests; hot loops reuse a keyBuf.
+func blockKey(name string, stripe, node int) []byte {
+	var k keyBuf
+	k.stripe(name, stripe)
+	return k.key(node)
 }
 
 // keyBuf builds block keys ("name/stripe/node") through one reusable byte
 // buffer: the stripe prefix is laid down once per stripe and node suffixes
-// appended per block, so a key costs one small string allocation instead of
-// a fmt.Sprintf parse. One keyBuf serves one goroutine.
+// appended per block. Since the Backend contract borrows keys only for the
+// duration of a call, a key costs no allocation at all — the same buffer is
+// rewritten for every block. One keyBuf serves one goroutine.
 type keyBuf struct {
 	buf    []byte
 	prefix int // length of the "name/stripe/" prefix
@@ -481,10 +554,12 @@ func (k *keyBuf) stripe(name string, st int) {
 	k.prefix = len(k.buf)
 }
 
-// key returns the key for node under the current stripe prefix.
-func (k *keyBuf) key(node int) string {
+// key returns the key for node under the current stripe prefix. The slice
+// aliases the buffer: it is valid only until the next key/stripe call, which
+// matches the Backend contract (backends copy keys they retain).
+func (k *keyBuf) key(node int) []byte {
 	k.buf = strconv.AppendInt(k.buf[:k.prefix], int64(node), 10)
-	return string(k.buf)
+	return k.buf
 }
 
 // stripeScratch is the reusable per-goroutine workspace of the stripe data
@@ -502,7 +577,6 @@ type stripeScratch struct {
 	enc      *codec.Encoder
 	planner  *retrieval.Planner // reused: planning a stripe allocates nothing
 	planCost retrieval.CostFunc // bound once; a per-call method value allocates
-	keyStrs  []string           // this stripe's block keys, built once per node
 	payload  []byte             // decode output buffer (grown to stripe capacity)
 	frameBuf []byte
 	keys     keyBuf
@@ -518,7 +592,6 @@ func (s *Store) newScratch() *stripeScratch {
 		avail:    make([]bool, s.g.Total),
 		corrupt:  make([]bool, s.g.Total),
 		fromRead: make([]bool, s.g.Total),
-		keyStrs:  make([]string, s.g.Total),
 		ws:       s.codec.NewWorkspace(),
 		touched:  map[int]bool{},
 	}
@@ -697,17 +770,38 @@ func (s *Store) ReadStripe(ctx context.Context, name string, st int) ([]byte, Ge
 func (s *Store) getStripe(ctx context.Context, name string, st, payloadLen int, sc *stripeScratch, stats *GetStats) ([]byte, error) {
 	sc.keys.stripe(name, st)
 	for node := range sc.avail {
-		sc.keyStrs[node] = sc.keys.key(node)
-		sc.avail[node] = !s.isQuarantined(node) && s.backend.Available(node, sc.keyStrs[node])
+		sc.avail[node] = !s.isQuarantined(node) && s.backend.Available(s.dev(node), sc.keys.key(node))
 		sc.blocks[node] = nil
 		sc.corrupt[node] = false
 		sc.fromRead[node] = false
 	}
 
+	// Repair-traffic accounting: a healthy stripe read moves exactly Data
+	// full frames, so on success everything beyond that baseline — extra
+	// plan blocks, corrupt frames, the fallback sweep — is degraded-get
+	// traffic; a failed stripe attributes every byte it read. A successful
+	// decode necessarily consumed at least Data verified full-size frames
+	// (codec.Repair rebuilds every data block), so the surplus is never
+	// negative.
+	var gotBlocks int
+	var gotBytes int64
+	record := func(success bool) {
+		bill := repairbw.CostReport{BlocksRead: gotBlocks, BytesRead: gotBytes}
+		if success {
+			bill.BlocksRead -= s.g.Data
+			bill.BytesRead -= int64(s.g.Data) * s.frameSize()
+		}
+		stats.Repair.Add(bill)
+		s.meter.Record(repairbw.DegradedGet, bill)
+	}
+
 	toRead := sc.toRead[:0]
 	if !s.cfg.NaiveRetrieval {
+		// PlanEconomic prefers the recovery plan with the fewest projected
+		// repair bytes (blocks beyond the data floor), falling back to plan
+		// price on ties; a healthy stripe short-circuits after one ordering.
 		planner, planCost := sc.plan(s)
-		plan, _, err := planner.Plan(sc.avail, planCost)
+		plan, _, err := planner.PlanEconomic(sc.avail, planCost)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %q stripe %d: %v", ErrDataLoss, name, st, err)
 		}
@@ -728,7 +822,7 @@ func (s *Store) getStripe(ctx context.Context, name string, st, payloadLen int, 
 		if ctxErr != nil {
 			return
 		}
-		framed, err := s.readFramed(ctx, node, sc.keyStrs[node], stats)
+		framed, err := s.readFramed(ctx, node, sc.keys.key(node), stats)
 		if err != nil {
 			if errIsCtx(err) {
 				ctxErr = err
@@ -737,6 +831,8 @@ func (s *Store) getStripe(ctx context.Context, name string, st, payloadLen int, 
 		}
 		sc.touched[node] = true
 		stats.BlocksRead++
+		gotBlocks++
+		gotBytes += int64(len(framed))
 		// unframeBlock's payload aliases framed; the alias lives only in
 		// sc.blocks[node], which is read (never mutated) by the codec and
 		// copied by the frame layer before any write-back.
@@ -754,6 +850,7 @@ func (s *Store) getStripe(ctx context.Context, name string, st, payloadLen int, 
 		readInto(node)
 	}
 	if ctxErr != nil {
+		record(false)
 		return nil, ctxErr
 	}
 	if cap(sc.payload) < s.codec.Capacity() {
@@ -777,20 +874,23 @@ func (s *Store) getStripe(ctx context.Context, name string, st, payloadLen int, 
 			}
 		}
 		if ctxErr != nil {
+			record(false)
 			return nil, ctxErr
 		}
 		payload, err = s.codec.DecodeInto(sc.ws, sc.payload[:0], sc.blocks, payloadLen)
 	}
 	if err != nil {
+		record(false)
 		return nil, fmt.Errorf("%w: %q stripe %d: %v", ErrDataLoss, name, st, err)
 	}
+	record(true)
 	for node := 0; node < s.g.Data; node++ {
 		if !sc.avail[node] {
 			stats.BlocksRepaired++
 		}
 	}
 	if !s.cfg.DisableReadRepair {
-		s.readRepairStripe(ctx, name, st, sc.blocks, sc.avail, sc.corrupt, stats)
+		s.readRepairStripe(ctx, sc, stats)
 	}
 	return payload, nil
 }
@@ -802,23 +902,31 @@ func (s *Store) getStripe(ctx context.Context, name string, st, payloadLen int, 
 // Codec.Decode repaired blocks in place, so every recoverable block is
 // present. Unreachable and quarantined nodes are skipped; write errors are
 // ignored (the next scrub retries).
-func (s *Store) readRepairStripe(ctx context.Context, name string, st int, blocks [][]byte, avail, corrupt []bool, stats *GetStats) {
-	for node := range blocks {
-		if blocks[node] == nil || (avail[node] && !corrupt[node]) {
+// The scratch's keyBuf still carries the stripe prefix getStripe set.
+func (s *Store) readRepairStripe(ctx context.Context, sc *stripeScratch, stats *GetStats) {
+	var bill repairbw.CostReport
+	for node := range sc.blocks {
+		if sc.blocks[node] == nil || (sc.avail[node] && !sc.corrupt[node]) {
 			continue // nothing reconstructed, or the stored frame is fine
 		}
-		if s.isQuarantined(node) || math.IsInf(s.backend.Cost(node), 1) {
+		if s.isQuarantined(node) || math.IsInf(s.backend.Cost(s.dev(node)), 1) {
 			continue
 		}
-		// writeFramed copies blocks[node] (which may alias a read frame)
+		// writeFramed copies sc.blocks[node] (which may alias a read frame)
 		// into a fresh framed buffer before the backend sees it.
-		if err := s.writeFramed(ctx, node, blockKey(name, st, node), blocks[node]); err == nil {
+		if err := s.writeFramed(ctx, node, sc.keys.key(node), sc.blocks[node]); err == nil {
 			s.mReadRepairs.Inc()
+			bill.BlocksWritten++
+			bill.BytesWritten += s.frameSize()
 			if stats != nil {
 				stats.ReadRepairs++
 			}
 		}
 	}
+	if stats != nil {
+		stats.Repair.Add(bill)
+	}
+	s.meter.Record(repairbw.ReadRepair, bill)
 }
 
 // Delete removes an object and its blocks from all reachable devices.
@@ -838,12 +946,14 @@ func (s *Store) DeleteCtx(ctx context.Context, name string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
+	var keys keyBuf
 	for st := 0; st < stripes; st++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		keys.stripe(name, st)
 		for node := 0; node < s.g.Total; node++ {
-			_ = s.backend.Delete(ctx, node, blockKey(name, st, node))
+			_ = s.backend.Delete(ctx, s.dev(node), keys.key(node))
 		}
 	}
 	s.deleteObject(name)

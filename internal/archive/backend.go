@@ -24,24 +24,31 @@ import (
 // around) ctx.Err() so the store can distinguish cancellation from damage.
 // Any other error is treated as a missing block, to be reconstructed from
 // parity.
+//
+// Key ownership: keys are []byte and are valid only for the duration of
+// the call — the store builds them in a per-stripe buffer it reuses.
+// Backends that retain a key (e.g. as a map key) must copy it; the
+// m[string(k)] lookup/delete forms compile without allocating, so map-based
+// backends stay allocation-free on the read path and pay one string copy
+// only on writes, which are rare.
 type Backend interface {
 	// Nodes returns the device count (one per graph node).
 	Nodes() int
 	// Available reports whether node's copy of key can be retrieved at
 	// all, possibly after a spin-up. Failed or unreachable devices are
 	// unavailable.
-	Available(node int, key string) bool
+	Available(node int, key []byte) bool
 	// Read fetches a block, performing any power management needed. The
 	// returned slice is owned by the caller: the backend must not reuse
 	// or mutate its backing array after returning (unframeBlock hands out
 	// payloads that alias it).
-	Read(ctx context.Context, node int, key string) ([]byte, error)
+	Read(ctx context.Context, node int, key []byte) ([]byte, error)
 	// Write stores a block, performing any power management needed. The
-	// backend must not retain data after returning (callers reuse their
-	// frame buffers).
-	Write(ctx context.Context, node int, key string, data []byte) error
+	// backend must not retain data (or the key) after returning (callers
+	// reuse their frame and key buffers).
+	Write(ctx context.Context, node int, key []byte, data []byte) error
 	// Delete removes a block; deleting a missing block is a no-op.
-	Delete(ctx context.Context, node int, key string) error
+	Delete(ctx context.Context, node int, key []byte) error
 	// Cost prices reading node for retrieval planning (e.g. spun-down
 	// drives cost a spin-up). Unreachable nodes return +Inf.
 	Cost(node int) float64
@@ -57,19 +64,19 @@ func NewArrayBackend(devs device.Array) Backend { return arrayBackend{devs: devs
 
 func (a arrayBackend) Nodes() int { return len(a.devs) }
 
-func (a arrayBackend) Available(node int, key string) bool {
+func (a arrayBackend) Available(node int, key []byte) bool {
 	return a.devs[node].State() == device.Online && a.devs[node].Has(key)
 }
 
-func (a arrayBackend) Read(_ context.Context, node int, key string) ([]byte, error) {
+func (a arrayBackend) Read(_ context.Context, node int, key []byte) ([]byte, error) {
 	return a.devs[node].Read(key)
 }
 
-func (a arrayBackend) Write(_ context.Context, node int, key string, data []byte) error {
+func (a arrayBackend) Write(_ context.Context, node int, key []byte, data []byte) error {
 	return a.devs[node].Write(key, data)
 }
 
-func (a arrayBackend) Delete(_ context.Context, node int, key string) error {
+func (a arrayBackend) Delete(_ context.Context, node int, key []byte) error {
 	return a.devs[node].Delete(key)
 }
 

@@ -3,6 +3,8 @@ package archive
 import (
 	"context"
 	"fmt"
+
+	"tornado/internal/repairbw"
 )
 
 // Stat returns an object's metadata.
@@ -53,7 +55,7 @@ func (s *Store) ReadBlockCtx(ctx context.Context, name string, stripe, node int)
 		return nil, fmt.Errorf("%w: %q stripe %d node %d", ErrNotFound, name, stripe, node)
 	}
 	key := blockKey(name, stripe, node)
-	if !s.backend.Available(node, key) {
+	if !s.backend.Available(s.dev(node), key) {
 		return nil, fmt.Errorf("%w: %q stripe %d node %d", ErrNotFound, name, stripe, node)
 	}
 	framed, err := s.readFramed(ctx, node, key, nil)
@@ -63,6 +65,9 @@ func (s *Store) ReadBlockCtx(ctx context.Context, name string, stripe, node int)
 		}
 		return nil, fmt.Errorf("%w: %q stripe %d node %d", ErrNotFound, name, stripe, node)
 	}
+	// Block-level reads exist only for the federated exchange, so the whole
+	// frame is federation repair traffic.
+	s.meter.Record(repairbw.Federation, repairbw.CostReport{BlocksRead: 1, BytesRead: int64(len(framed))})
 	// The payload crosses an ownership boundary (HTTP response body, peer
 	// exchange buffers), so take an independent copy rather than the alias
 	// unframeBlock returns.
@@ -94,7 +99,11 @@ func (s *Store) WriteBlockCtx(ctx context.Context, name string, stripe, node int
 	if len(payload) != s.cfg.BlockSize {
 		return fmt.Errorf("archive: block size %d, want %d", len(payload), s.cfg.BlockSize)
 	}
-	return s.writeFramed(ctx, node, blockKey(name, stripe, node), payload)
+	if err := s.writeFramed(ctx, node, blockKey(name, stripe, node), payload); err != nil {
+		return err
+	}
+	s.meter.Record(repairbw.Federation, repairbw.CostReport{BlocksWritten: 1, BytesWritten: s.frameSize()})
+	return nil
 }
 
 // PutShell registers an object's metadata without writing any blocks —

@@ -1,6 +1,11 @@
 package archive
 
-import "context"
+import (
+	"context"
+	"slices"
+
+	"tornado/internal/repairbw"
+)
 
 // StripeHealth is the introspection record for one stripe (§6: "stripe
 // reliability assurance and user introspection mechanism").
@@ -28,6 +33,10 @@ type ScrubReport struct {
 	AtRisk           int // stripes with Margin <= 0 (when margin is enabled)
 	Unrecoverable    int
 	QuarantinedNodes []int // nodes quarantined at the end of the pass
+	// Cost is the pass's repair-traffic bill: every byte the scrub read to
+	// verify stripes and wrote to repair them (also recorded on the store's
+	// repairbw.Meter under the Scrub cause).
+	Cost repairbw.CostReport
 }
 
 // Scrub inspects every stripe of every object, reports each stripe's
@@ -64,7 +73,9 @@ func (s *Store) ScrubCtx(ctx context.Context, repair bool) (ScrubReport, error) 
 			if err := ctx.Err(); err != nil {
 				return rep, err
 			}
-			h, err := s.scrubStripe(ctx, obj.Name, st, repair, &pass)
+			h, cost, err := s.scrubStripe(ctx, obj.Name, st, repair, &pass)
+			rep.Cost.Add(cost)
+			s.meter.Record(repairbw.Scrub, cost)
 			if err != nil {
 				return rep, err
 			}
@@ -76,6 +87,7 @@ func (s *Store) ScrubCtx(ctx context.Context, repair bool) (ScrubReport, error) 
 	// mid-replacement) that has passed by the end of the sweep. The partial
 	// repair above already banked whatever peeling reached.
 	if repair {
+		var keys keyBuf
 		for i, h := range rep.Stripes {
 			if h.Recoverable {
 				continue
@@ -83,7 +95,18 @@ func (s *Store) ScrubCtx(ctx context.Context, repair bool) (ScrubReport, error) 
 			if err := ctx.Err(); err != nil {
 				return rep, err
 			}
-			h2, err := s.scrubStripe(ctx, h.Object, h.Stripe, repair, &pass)
+			// Only re-scrub when the stripe has genuinely new information: a
+			// node it was missing — beyond those the partial repair already
+			// rewrote — now answers Available. Without that, the second look
+			// would re-read the whole stripe (including stripes this same
+			// pass just repaired onto a replaced device) only to fail or
+			// no-op the same way, doubling the pass's repair traffic.
+			if !s.secondLookWorthwhile(h, &keys) {
+				continue
+			}
+			h2, cost, err := s.scrubStripe(ctx, h.Object, h.Stripe, repair, &pass)
+			rep.Cost.Add(cost)
+			s.meter.Record(repairbw.Scrub, cost)
 			if err != nil {
 				return rep, err
 			}
@@ -108,19 +131,44 @@ func (s *Store) ScrubCtx(ctx context.Context, repair bool) (ScrubReport, error) 
 	return rep, nil
 }
 
-func (s *Store) scrubStripe(ctx context.Context, name string, st int, repair bool, pass *scrubPass) (StripeHealth, error) {
+// secondLookWorthwhile reports whether an unrecoverable stripe deserves the
+// second-look re-scrub: some node it is missing — and that the first sweep
+// did not itself repair — answers Available now, meaning the transient
+// unavailability that defeated the sweep has passed.
+func (s *Store) secondLookWorthwhile(h StripeHealth, keys *keyBuf) bool {
+	keys.stripe(h.Object, h.Stripe)
+	for _, node := range h.Missing {
+		if slices.Contains(h.Repaired, node) {
+			continue
+		}
+		if s.backend.Available(s.dev(node), keys.key(node)) {
+			return true
+		}
+	}
+	return false
+}
+
+// scrubStripe verifies one stripe, optionally repairing it, and returns its
+// health along with the stripe's repair-traffic bill (every byte read to
+// verify plus every byte written to repair).
+func (s *Store) scrubStripe(ctx context.Context, name string, st int, repair bool, pass *scrubPass) (StripeHealth, repairbw.CostReport, error) {
 	h := StripeHealth{Object: name, Stripe: st, Quarantined: s.Quarantined()}
+	var cost repairbw.CostReport
 	blocks := make([][]byte, s.g.Total)
+	var keys keyBuf
+	keys.stripe(name, st)
 	for node := 0; node < s.g.Total; node++ {
-		key := blockKey(name, st, node)
-		if s.backend.Available(node, key) {
+		key := keys.key(node)
+		if s.backend.Available(s.dev(node), key) {
 			framed, err := s.readFramed(ctx, node, key, nil)
 			if errIsCtx(err) {
 				// A cancelled read is not evidence of a missing block; abort
 				// the stripe so the pass reports ctx.Err(), not phantom damage.
-				return h, err
+				return h, cost, err
 			}
 			if err == nil {
+				cost.BlocksRead++
+				cost.BytesRead += int64(len(framed))
 				// The payload aliases framed; it is only read by the codec
 				// and copied by frameBlock before any repair write.
 				if b, ok := unframeBlock(framed); ok {
@@ -138,7 +186,7 @@ func (s *Store) scrubStripe(ctx context.Context, name string, st int, repair boo
 	if len(h.Missing) == 0 {
 		h.Recoverable = true
 		h.Margin = s.cfg.FirstFailure
-		return h, nil
+		return h, cost, nil
 	}
 
 	err := s.codec.Repair(blocks)
@@ -147,7 +195,7 @@ func (s *Store) scrubStripe(ctx context.Context, name string, st int, repair boo
 		h.Margin = s.cfg.FirstFailure - len(h.Missing)
 	}
 	if !repair {
-		return h, nil
+		return h, cost, nil
 	}
 	// Even an unrecoverable stripe gets partial repair: every block the
 	// peeling did reach is correct, and writing it back monotonically
@@ -159,10 +207,12 @@ func (s *Store) scrubStripe(ctx context.Context, name string, st int, repair boo
 		}
 		// Quarantined nodes are repaired too: the rewrite is what heals
 		// at-rest damage, and the next pass's evidence decides readmission.
-		if werr := s.writeFramed(ctx, node, blockKey(name, st, node), blocks[node]); werr != nil {
+		if werr := s.writeFramed(ctx, node, keys.key(node), blocks[node]); werr != nil {
 			continue // home device still dead; the next scrub retries
 		}
+		cost.BlocksWritten++
+		cost.BytesWritten += s.frameSize()
 		h.Repaired = append(h.Repaired, node)
 	}
-	return h, nil
+	return h, cost, nil
 }

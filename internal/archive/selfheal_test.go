@@ -23,7 +23,7 @@ type midReadFailBackend struct {
 	tripped bool
 }
 
-func (b *midReadFailBackend) Read(ctx context.Context, node int, key string) ([]byte, error) {
+func (b *midReadFailBackend) Read(ctx context.Context, node int, key []byte) ([]byte, error) {
 	if b.armed && node == b.victim {
 		b.armed = false
 		b.tripped = true
@@ -98,7 +98,7 @@ type flakyBackend struct {
 	seen     int
 }
 
-func (b *flakyBackend) Read(ctx context.Context, node int, key string) ([]byte, error) {
+func (b *flakyBackend) Read(ctx context.Context, node int, key []byte) ([]byte, error) {
 	if node == b.node && b.seen < b.failures {
 		b.seen++
 		return nil, fmt.Errorf("flaky read of node %d: %w", node, ErrTransient)

@@ -312,6 +312,7 @@ func (s *Store) GetStream(ctx context.Context, name string, w io.Writer, opts ..
 		stats.CorruptBlocks += r.stats.CorruptBlocks
 		stats.ReadRepairs += r.stats.ReadRepairs
 		stats.Retries += r.stats.Retries
+		stats.Repair.Add(r.stats.Repair)
 		for v := range r.touched {
 			touched[v] = true
 		}

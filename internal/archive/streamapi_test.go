@@ -176,7 +176,7 @@ type gateBackend struct {
 	stalled int
 }
 
-func (b *gateBackend) Write(ctx context.Context, node int, key string, data []byte) error {
+func (b *gateBackend) Write(ctx context.Context, node int, key []byte, data []byte) error {
 	b.mu.Lock()
 	b.stalled++
 	b.mu.Unlock()

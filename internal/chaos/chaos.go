@@ -261,7 +261,8 @@ func (in *Injector) CorruptStored(node int, key string) error {
 	if in.outstanding[frameID{node, key}] {
 		return nil // already corrupt at rest; flipping again could revert it
 	}
-	framed, err := in.inner.Read(context.Background(), node, key)
+	kb := []byte(key)
+	framed, err := in.inner.Read(context.Background(), node, kb)
 	if err != nil {
 		return fmt.Errorf("chaos: corrupt stored: %w", err)
 	}
@@ -270,7 +271,7 @@ func (in *Injector) CorruptStored(node int, key string) error {
 	}
 	bad := append([]byte(nil), framed...)
 	bad[0] ^= 0x80 // break the stored checksum deterministically
-	if err := in.inner.Write(context.Background(), node, key, bad); err != nil {
+	if err := in.inner.Write(context.Background(), node, kb, bad); err != nil {
 		return fmt.Errorf("chaos: corrupt stored: %w", err)
 	}
 	in.injected[ClassBitFlip].Inc()
@@ -302,7 +303,7 @@ func (in *Injector) Nodes() int { return in.inner.Nodes() }
 // Available reports inner availability masked by injected node state. It
 // consumes no randomness, so probing availability never perturbs the fault
 // schedule.
-func (in *Injector) Available(node int, key string) bool {
+func (in *Injector) Available(node int, key []byte) bool {
 	in.mu.Lock()
 	down := in.lost[node] || in.flapUntil[node] > in.ops
 	in.mu.Unlock()
@@ -327,7 +328,7 @@ func (in *Injector) Cost(node int) float64 {
 // Read serves a block through the fault schedule. The context is checked on
 // entry (a cancelled read consumes no randomness, keeping the schedule
 // deterministic under cancellation) and passed through to the inner backend.
-func (in *Injector) Read(ctx context.Context, node int, key string) ([]byte, error) {
+func (in *Injector) Read(ctx context.Context, node int, key []byte) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -357,7 +358,7 @@ func (in *Injector) Read(ctx context.Context, node int, key string) ([]byte, err
 	if err != nil {
 		return framed, err
 	}
-	id := frameID{node, key}
+	id := frameID{node, string(key)}
 	corrupt := in.outstanding[id] // already damaged at rest
 	// Never stack a new injection on a frame already corrupt at rest: a
 	// second flip could land on the same bit and silently revert the frame
@@ -396,7 +397,7 @@ func (in *Injector) Read(ctx context.Context, node int, key string) ([]byte, err
 // Write stores a block through the fault schedule. A clean write to a frame
 // that was corrupt at rest clears its outstanding mark (that is how
 // read-repair and scrub heal show up in the bookkeeping).
-func (in *Injector) Write(ctx context.Context, node int, key string, data []byte) error {
+func (in *Injector) Write(ctx context.Context, node int, key []byte, data []byte) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -409,7 +410,7 @@ func (in *Injector) Write(ctx context.Context, node int, key string, data []byte
 	if in.flapUntil[node] > in.ops {
 		return fmt.Errorf("%w (node %d flapping)", ErrInjected, node)
 	}
-	id := frameID{node, key}
+	id := frameID{node, string(key)}
 	if !in.quiesced {
 		switch {
 		case in.roll(in.cfg.WriteErrRate):
@@ -435,9 +436,9 @@ func (in *Injector) Write(ctx context.Context, node int, key string, data []byte
 }
 
 // Delete removes a block (and any outstanding-corruption mark on it).
-func (in *Injector) Delete(ctx context.Context, node int, key string) error {
+func (in *Injector) Delete(ctx context.Context, node int, key []byte) error {
 	in.mu.Lock()
-	id := frameID{node, key}
+	id := frameID{node, string(key)}
 	if in.outstanding[id] {
 		delete(in.outstanding, id)
 		in.gOutst.Set(int64(len(in.outstanding)))

@@ -289,10 +289,10 @@ func TestNodeLossAndFlap(t *testing.T) {
 	}
 
 	inj.LoseNode(3)
-	if inj.Available(3, "obj/0/3") {
+	if inj.Available(3, []byte("obj/0/3")) {
 		t.Error("lost node reports available")
 	}
-	if _, err := inj.Read(context.Background(), 3, "obj/0/3"); !errors.Is(err, ErrNodeLost) {
+	if _, err := inj.Read(context.Background(), 3, []byte("obj/0/3")); !errors.Is(err, ErrNodeLost) {
 		t.Errorf("read of lost node: %v", err)
 	}
 	if errors.Is(ErrNodeLost, archive.ErrTransient) {
@@ -304,22 +304,22 @@ func TestNodeLossAndFlap(t *testing.T) {
 	}
 
 	inj.FlapNode(5, 4)
-	if inj.Available(5, "obj/0/5") {
+	if inj.Available(5, []byte("obj/0/5")) {
 		t.Error("flapping node reports available")
 	}
-	if _, err := inj.Read(context.Background(), 5, "obj/0/5"); !errors.Is(err, archive.ErrTransient) {
+	if _, err := inj.Read(context.Background(), 5, []byte("obj/0/5")); !errors.Is(err, archive.ErrTransient) {
 		t.Errorf("flapping read should be transient: %v", err)
 	}
 	// The flap window expires as the op clock advances.
 	for i := 0; i < 6; i++ {
 		_, _, _ = store.Get("obj")
 	}
-	if !inj.Available(5, "obj/0/5") {
+	if !inj.Available(5, []byte("obj/0/5")) {
 		t.Error("flap window never expired")
 	}
 
 	inj.RestoreNode(3)
-	if !inj.Available(3, "obj/0/3") {
+	if !inj.Available(3, []byte("obj/0/3")) {
 		t.Error("restored node still unavailable")
 	}
 	if got, _, err := store.Get("obj"); err != nil || !bytes.Equal(got, data) {

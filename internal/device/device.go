@@ -87,14 +87,17 @@ func (d *Device) Stats() Stats {
 	return d.stats
 }
 
-// Read returns a copy of the named block.
-func (d *Device) Read(key string) ([]byte, error) {
+// Read returns a copy of the named block. The key is borrowed for the
+// duration of the call only — the map lookup goes through m[string(k)],
+// which the compiler keeps allocation-free, so hot read paths can build
+// keys in a reused buffer.
+func (d *Device) Read(key []byte) ([]byte, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.state != Online {
 		return nil, fmt.Errorf("%w (device %d is %v)", ErrUnavailable, d.id, d.state)
 	}
-	b, ok := d.blocks[key]
+	b, ok := d.blocks[string(key)]
 	if !ok {
 		return nil, fmt.Errorf("%w (device %d, key %q)", ErrNotFound, d.id, key)
 	}
@@ -103,35 +106,36 @@ func (d *Device) Read(key string) ([]byte, error) {
 	return append([]byte(nil), b...), nil
 }
 
-// Write stores a copy of data under key.
-func (d *Device) Write(key string, data []byte) error {
+// Write stores a copy of data under key. The key is copied (the map entry
+// owns its own string), so callers may reuse the buffer.
+func (d *Device) Write(key []byte, data []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.state != Online {
 		return fmt.Errorf("%w (device %d is %v)", ErrUnavailable, d.id, d.state)
 	}
-	d.blocks[key] = append([]byte(nil), data...)
+	d.blocks[string(key)] = append([]byte(nil), data...)
 	d.stats.Writes++
 	d.stats.BytesWritten += int64(len(data))
 	return nil
 }
 
 // Delete removes the named block; deleting a missing block is a no-op.
-func (d *Device) Delete(key string) error {
+func (d *Device) Delete(key []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.state != Online {
 		return fmt.Errorf("%w (device %d is %v)", ErrUnavailable, d.id, d.state)
 	}
-	delete(d.blocks, key)
+	delete(d.blocks, string(key))
 	return nil
 }
 
 // Has reports whether the device holds key (regardless of state).
-func (d *Device) Has(key string) bool {
+func (d *Device) Has(key []byte) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	_, ok := d.blocks[key]
+	_, ok := d.blocks[string(key)]
 	return ok
 }
 

@@ -12,10 +12,10 @@ func TestReadWriteRoundTrip(t *testing.T) {
 	if d.ID() != 3 || d.State() != Online {
 		t.Fatal("fresh device wrong")
 	}
-	if err := d.Write("a", []byte("hello")); err != nil {
+	if err := d.Write([]byte("a"), []byte("hello")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := d.Read("a")
+	got, err := d.Read([]byte("a"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,10 +30,10 @@ func TestReadWriteRoundTrip(t *testing.T) {
 
 func TestReadIsCopy(t *testing.T) {
 	d := New(0)
-	d.Write("a", []byte("abc"))
-	got, _ := d.Read("a")
+	d.Write([]byte("a"), []byte("abc"))
+	got, _ := d.Read([]byte("a"))
 	got[0] = 'X'
-	again, _ := d.Read("a")
+	again, _ := d.Read([]byte("a"))
 	if string(again) != "abc" {
 		t.Error("Read returned aliased storage")
 	}
@@ -42,9 +42,9 @@ func TestReadIsCopy(t *testing.T) {
 func TestWriteIsCopy(t *testing.T) {
 	d := New(0)
 	buf := []byte("abc")
-	d.Write("a", buf)
+	d.Write([]byte("a"), buf)
 	buf[0] = 'X'
-	got, _ := d.Read("a")
+	got, _ := d.Read([]byte("a"))
 	if string(got) != "abc" {
 		t.Error("Write aliased caller buffer")
 	}
@@ -52,7 +52,7 @@ func TestWriteIsCopy(t *testing.T) {
 
 func TestReadMissing(t *testing.T) {
 	d := New(0)
-	if _, err := d.Read("nope"); !errors.Is(err, ErrNotFound) {
+	if _, err := d.Read([]byte("nope")); !errors.Is(err, ErrNotFound) {
 		t.Errorf("err = %v", err)
 	}
 }
@@ -64,15 +64,15 @@ func TestUnavailableStates(t *testing.T) {
 		func(d *Device) { d.Fail() },
 	} {
 		d := New(0)
-		d.Write("a", []byte("x"))
+		d.Write([]byte("a"), []byte("x"))
 		setup(d)
-		if _, err := d.Read("a"); !errors.Is(err, ErrUnavailable) {
+		if _, err := d.Read([]byte("a")); !errors.Is(err, ErrUnavailable) {
 			t.Errorf("Read in %v: err = %v", d.State(), err)
 		}
-		if err := d.Write("b", []byte("y")); !errors.Is(err, ErrUnavailable) {
+		if err := d.Write([]byte("b"), []byte("y")); !errors.Is(err, ErrUnavailable) {
 			t.Errorf("Write in %v: err = %v", d.State(), err)
 		}
-		if err := d.Delete("a"); !errors.Is(err, ErrUnavailable) {
+		if err := d.Delete([]byte("a")); !errors.Is(err, ErrUnavailable) {
 			t.Errorf("Delete in %v: err = %v", d.State(), err)
 		}
 	}
@@ -80,7 +80,7 @@ func TestUnavailableStates(t *testing.T) {
 
 func TestPowerCycle(t *testing.T) {
 	d := New(0)
-	d.Write("a", []byte("x"))
+	d.Write([]byte("a"), []byte("x"))
 	d.PowerOff()
 	if d.State() != Standby {
 		t.Fatalf("state = %v", d.State())
@@ -93,7 +93,7 @@ func TestPowerCycle(t *testing.T) {
 		t.Errorf("spinups = %d", d.Stats().SpinUps)
 	}
 	// Data survives standby.
-	if got, err := d.Read("a"); err != nil || string(got) != "x" {
+	if got, err := d.Read([]byte("a")); err != nil || string(got) != "x" {
 		t.Errorf("data lost across power cycle: %v %q", err, got)
 	}
 	// PowerOn on an online device is a no-op.
@@ -105,22 +105,22 @@ func TestPowerCycle(t *testing.T) {
 
 func TestOfflinePreservesData(t *testing.T) {
 	d := New(0)
-	d.Write("a", []byte("x"))
+	d.Write([]byte("a"), []byte("x"))
 	d.SetOffline()
 	d.SetOnline()
-	if got, err := d.Read("a"); err != nil || string(got) != "x" {
+	if got, err := d.Read([]byte("a")); err != nil || string(got) != "x" {
 		t.Errorf("data lost across offline: %v %q", err, got)
 	}
 }
 
 func TestFailDestroysData(t *testing.T) {
 	d := New(0)
-	d.Write("a", []byte("x"))
+	d.Write([]byte("a"), []byte("x"))
 	d.Fail()
 	if d.State() != Failed {
 		t.Fatalf("state = %v", d.State())
 	}
-	if d.Has("a") {
+	if d.Has([]byte("a")) {
 		t.Error("failed device still holds data")
 	}
 	// Offline/online transitions must not resurrect a failed device.
@@ -146,18 +146,18 @@ func TestPowerOffOnlyFromOnline(t *testing.T) {
 
 func TestDeleteAndHasAndLen(t *testing.T) {
 	d := New(0)
-	d.Write("a", []byte("x"))
-	d.Write("b", []byte("y"))
-	if d.Len() != 2 || !d.Has("a") {
+	d.Write([]byte("a"), []byte("x"))
+	d.Write([]byte("b"), []byte("y"))
+	if d.Len() != 2 || !d.Has([]byte("a")) {
 		t.Error("Has/Len wrong")
 	}
-	if err := d.Delete("a"); err != nil {
+	if err := d.Delete([]byte("a")); err != nil {
 		t.Fatal(err)
 	}
-	if d.Has("a") || d.Len() != 1 {
+	if d.Has([]byte("a")) || d.Len() != 1 {
 		t.Error("Delete did not remove block")
 	}
-	if err := d.Delete("nope"); err != nil {
+	if err := d.Delete([]byte("nope")); err != nil {
 		t.Errorf("Delete missing = %v, want nil", err)
 	}
 }
@@ -198,7 +198,7 @@ func TestConcurrentAccess(t *testing.T) {
 		wg.Add(1)
 		go func(n int) {
 			defer wg.Done()
-			key := string(rune('a' + n))
+			key := []byte{byte('a' + n)}
 			for j := 0; j < 100; j++ {
 				d.Write(key, []byte{byte(j)})
 				d.Read(key)

@@ -26,7 +26,7 @@ func (b StoreBackend) Nodes() int { return len(b.shelf.devices) }
 // Available reports whether node's copy of key survives somewhere the
 // shelf can reach: standby drives count (a spin-up away); failed and
 // offline drives do not.
-func (b StoreBackend) Available(node int, key string) bool {
+func (b StoreBackend) Available(node int, key []byte) bool {
 	switch b.shelf.devices[node].State() {
 	case device.Online, device.Standby:
 		return b.shelf.devices[node].Has(key)
@@ -38,7 +38,7 @@ func (b StoreBackend) Available(node int, key string) bool {
 // Read fetches a block through the shelf, spinning the drive up if needed.
 // The simulated shelf spins up synchronously, so ctx is only checked on
 // entry; a real shelf would wait on the spin-up queue under ctx.
-func (b StoreBackend) Read(ctx context.Context, node int, key string) ([]byte, error) {
+func (b StoreBackend) Read(ctx context.Context, node int, key []byte) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -46,7 +46,7 @@ func (b StoreBackend) Read(ctx context.Context, node int, key string) ([]byte, e
 }
 
 // Write stores a block through the shelf, spinning the drive up if needed.
-func (b StoreBackend) Write(ctx context.Context, node int, key string, data []byte) error {
+func (b StoreBackend) Write(ctx context.Context, node int, key []byte, data []byte) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -54,7 +54,7 @@ func (b StoreBackend) Write(ctx context.Context, node int, key string, data []by
 }
 
 // Delete removes a block, spinning the drive up if needed.
-func (b StoreBackend) Delete(_ context.Context, node int, key string) error {
+func (b StoreBackend) Delete(_ context.Context, node int, key []byte) error {
 	b.shelf.mu.Lock()
 	b.shelf.touchLocked(node)
 	b.shelf.mu.Unlock()

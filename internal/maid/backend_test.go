@@ -14,8 +14,8 @@ import (
 
 func TestParkAll(t *testing.T) {
 	s := newShelf(t, 4, 2)
-	s.Write(0, "k", []byte("a"))
-	s.Write(1, "k", []byte("b"))
+	s.Write(0, []byte("k"), []byte("a"))
+	s.Write(1, []byte("k"), []byte("b"))
 	if s.OnlineCount() != 2 {
 		t.Fatalf("OnlineCount = %d", s.OnlineCount())
 	}
@@ -29,7 +29,7 @@ func TestParkAll(t *testing.T) {
 		}
 	}
 	// Data must survive and reads must spin drives back up.
-	if got, err := s.Read(0, "k"); err != nil || string(got) != "a" {
+	if got, err := s.Read(0, []byte("k")); err != nil || string(got) != "a" {
 		t.Errorf("Read after ParkAll: %q %v", got, err)
 	}
 }
@@ -40,21 +40,21 @@ func TestStoreBackendAvailability(t *testing.T) {
 	if b.Nodes() != 4 {
 		t.Errorf("Nodes = %d", b.Nodes())
 	}
-	if err := b.Write(context.Background(), 0, "k", []byte("x")); err != nil {
+	if err := b.Write(context.Background(), 0, []byte("k"), []byte("x")); err != nil {
 		t.Fatal(err)
 	}
 	s.ParkAll()
 	// Standby drive holding the block: available.
-	if !b.Available(0, "k") {
+	if !b.Available(0, []byte("k")) {
 		t.Error("standby block should be available")
 	}
 	// Standby drive without the block: unavailable.
-	if b.Available(1, "k") {
+	if b.Available(1, []byte("k")) {
 		t.Error("missing block reported available")
 	}
 	// Dead drive: unavailable regardless.
 	s.Devices()[0].Fail()
-	if b.Available(0, "k") {
+	if b.Available(0, []byte("k")) {
 		t.Error("failed drive reported available")
 	}
 }
@@ -62,7 +62,7 @@ func TestStoreBackendAvailability(t *testing.T) {
 func TestStoreBackendCostAndDelete(t *testing.T) {
 	s := newShelf(t, 4, 2)
 	b := NewStoreBackend(s)
-	b.Write(context.Background(), 0, "k", []byte("x"))
+	b.Write(context.Background(), 0, []byte("k"), []byte("x"))
 	if c := b.Cost(0); c >= 1 {
 		t.Errorf("spinning cost = %v", c)
 	}
@@ -74,10 +74,10 @@ func TestStoreBackendCostAndDelete(t *testing.T) {
 	if !math.IsInf(b.Cost(3), 1) {
 		t.Errorf("failed cost = %v", b.Cost(3))
 	}
-	if err := b.Delete(context.Background(), 0, "k"); err != nil {
+	if err := b.Delete(context.Background(), 0, []byte("k")); err != nil {
 		t.Fatal(err)
 	}
-	if b.Available(0, "k") {
+	if b.Available(0, []byte("k")) {
 		t.Error("block still available after Delete")
 	}
 }

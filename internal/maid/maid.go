@@ -134,8 +134,9 @@ func (s *Shelf) promoteLocked(id int) {
 	s.lru = append(s.lru, id)
 }
 
-// Read fetches a block from a device, spinning it up if necessary.
-func (s *Shelf) Read(id int, key string) ([]byte, error) {
+// Read fetches a block from a device, spinning it up if necessary. The key
+// is borrowed for the duration of the call (device lookups copy nothing).
+func (s *Shelf) Read(id int, key []byte) ([]byte, error) {
 	s.mu.Lock()
 	s.touchLocked(id)
 	s.mu.Unlock()
@@ -143,7 +144,7 @@ func (s *Shelf) Read(id int, key string) ([]byte, error) {
 }
 
 // Write stores a block on a device, spinning it up if necessary.
-func (s *Shelf) Write(id int, key string, data []byte) error {
+func (s *Shelf) Write(id int, key []byte, data []byte) error {
 	s.mu.Lock()
 	s.touchLocked(id)
 	s.mu.Unlock()

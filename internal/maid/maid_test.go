@@ -43,10 +43,10 @@ func TestShelfStartsSpunDown(t *testing.T) {
 
 func TestReadSpinsUpOnDemand(t *testing.T) {
 	s := newShelf(t, 4, 2)
-	if err := s.Write(0, "a", []byte("x")); err != nil {
+	if err := s.Write(0, []byte("a"), []byte("x")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.Read(0, "a")
+	got, err := s.Read(0, []byte("a"))
 	if err != nil || string(got) != "x" {
 		t.Fatalf("Read = %q, %v", got, err)
 	}
@@ -61,7 +61,7 @@ func TestReadSpinsUpOnDemand(t *testing.T) {
 func TestBudgetEnforcedByEviction(t *testing.T) {
 	s := newShelf(t, 6, 2)
 	for id := 0; id < 6; id++ {
-		if err := s.Write(id, "k", []byte{byte(id)}); err != nil {
+		if err := s.Write(id, []byte("k"), []byte{byte(id)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -79,13 +79,13 @@ func TestBudgetEnforcedByEviction(t *testing.T) {
 
 func TestLRUTouchKeepsHotDeviceSpinning(t *testing.T) {
 	s := newShelf(t, 4, 2)
-	s.Write(0, "k", []byte("a"))
-	s.Write(1, "k", []byte("b"))
+	s.Write(0, []byte("k"), []byte("a"))
+	s.Write(1, []byte("k"), []byte("b"))
 	// Re-touch 0 so it becomes MRU; writing to 2 should evict 1, not 0.
-	if _, err := s.Read(0, "k"); err != nil {
+	if _, err := s.Read(0, []byte("k")); err != nil {
 		t.Fatal(err)
 	}
-	s.Write(2, "k", []byte("c"))
+	s.Write(2, []byte("k"), []byte("c"))
 	if s.Devices()[0].State() != device.Online {
 		t.Error("hot device was evicted")
 	}
@@ -125,8 +125,8 @@ func TestSpinUpAccounting(t *testing.T) {
 	s := newShelf(t, 4, 1)
 	// Alternate between two devices: every access is a spin-up.
 	for i := 0; i < 3; i++ {
-		s.Write(0, "k", []byte("x"))
-		s.Write(1, "k", []byte("y"))
+		s.Write(0, []byte("k"), []byte("x"))
+		s.Write(1, []byte("k"), []byte("y"))
 	}
 	if got := s.SpinUps(); got != 6 {
 		t.Errorf("SpinUps = %d, want 6", got)
@@ -134,8 +134,8 @@ func TestSpinUpAccounting(t *testing.T) {
 	// A budget of 2 would keep both spinning: only 2 spin-ups.
 	s2 := newShelf(t, 4, 2)
 	for i := 0; i < 3; i++ {
-		s2.Write(0, "k", []byte("x"))
-		s2.Write(1, "k", []byte("y"))
+		s2.Write(0, []byte("k"), []byte("x"))
+		s2.Write(1, []byte("k"), []byte("y"))
 	}
 	if got := s2.SpinUps(); got != 2 {
 		t.Errorf("budget-2 SpinUps = %d, want 2", got)
@@ -144,7 +144,7 @@ func TestSpinUpAccounting(t *testing.T) {
 
 func TestCostFunc(t *testing.T) {
 	s := newShelf(t, 4, 2)
-	s.Write(0, "k", []byte("x")) // device 0 now spinning
+	s.Write(0, []byte("k"), []byte("x")) // device 0 now spinning
 	s.Devices()[3].Fail()
 	cost := s.CostFunc()
 	if c := cost(0); c >= 1 {

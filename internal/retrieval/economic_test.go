@@ -1,0 +1,152 @@
+package retrieval
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"tornado/internal/decode"
+	"tornado/internal/graph"
+)
+
+// feasible reports whether reading exactly plan suffices to decode: erase
+// everything else and ask the full decoder.
+func feasible(g *graph.Graph, plan []int) bool {
+	inPlan := make([]bool, g.Total)
+	for _, v := range plan {
+		inPlan[v] = true
+	}
+	var erased []int
+	for v := 0; v < g.Total; v++ {
+		if !inPlan[v] {
+			erased = append(erased, v)
+		}
+	}
+	return decode.New(g).Recoverable(erased)
+}
+
+func TestPlanEconomicHealthyIsFloor(t *testing.T) {
+	g := tornado96(t)
+	p := NewPlanner(g)
+	plan, pc, err := p.PlanEconomic(allAvailable(g.Total), UnitCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Blocks != g.Data || pc.Surplus != 0 {
+		t.Errorf("healthy plan cost = %+v, want Blocks=%d Surplus=0", pc, g.Data)
+	}
+	if len(plan) != g.Data {
+		t.Errorf("healthy plan reads %d blocks, want %d", len(plan), g.Data)
+	}
+	if pc.Bytes(68) != 0 {
+		t.Errorf("healthy plan projects %d repair bytes, want 0", pc.Bytes(68))
+	}
+	for _, v := range plan {
+		if !g.IsData(v) {
+			t.Errorf("healthy plan includes check node %d", v)
+		}
+	}
+}
+
+// TestPlanEconomicDifferential drives PlanEconomic across random damage
+// and cost surfaces and checks it against the full-decoder oracle and the
+// single-ordering Plan:
+//
+//   - the plan is feasible (decoding from exactly those blocks works);
+//   - the plan is minimal (dropping any one element breaks decodability);
+//   - the reported PlanCost is self-consistent with the plan;
+//   - it never reads more blocks than Plan — choosing among orderings can
+//     only shrink the projected repair traffic.
+func TestPlanEconomicDifferential(t *testing.T) {
+	g := tornado96(t)
+	p := NewPlanner(g)
+	rng := rand.New(rand.NewPCG(500, 1))
+	improved := 0
+	for trial := 0; trial < 60; trial++ {
+		avail := make([]bool, g.Total)
+		for v := range avail {
+			avail[v] = rng.Float64() > 0.3
+		}
+		costs := make([]float64, g.Total)
+		for v := range costs {
+			switch rng.IntN(4) {
+			case 0:
+				costs[v] = 1
+			case 1:
+				costs[v] = float64(1 + rng.IntN(10))
+			case 2:
+				costs[v] = rng.Float64() * 5
+			default:
+				costs[v] = math.Inf(1)
+			}
+		}
+		cost := func(v int) float64 { return costs[v] }
+
+		base, _, baseErr := p.Plan(avail, cost)
+		baseLen := len(base)
+		plan, pc, err := p.PlanEconomic(avail, cost)
+		if (err == nil) != (baseErr == nil) {
+			t.Fatalf("trial %d: PlanEconomic err %v but Plan err %v", trial, err, baseErr)
+		}
+		if err != nil {
+			if !errors.Is(err, ErrInsufficient) {
+				t.Fatalf("trial %d: unexpected error %v", trial, err)
+			}
+			continue
+		}
+
+		if !feasible(g, plan) {
+			t.Fatalf("trial %d: economic plan %v cannot decode", trial, plan)
+		}
+		for i := range plan {
+			reduced := make([]int, 0, len(plan)-1)
+			reduced = append(reduced, plan[:i]...)
+			reduced = append(reduced, plan[i+1:]...)
+			if feasible(g, reduced) {
+				t.Fatalf("trial %d: plan not minimal — dropping %d still decodes", trial, plan[i])
+			}
+		}
+
+		if pc.Blocks != len(plan) {
+			t.Errorf("trial %d: PlanCost.Blocks=%d but plan has %d", trial, pc.Blocks, len(plan))
+		}
+		if pc.Surplus != len(plan)-g.Data {
+			t.Errorf("trial %d: Surplus=%d, want %d", trial, pc.Surplus, len(plan)-g.Data)
+		}
+		total := 0.0
+		for _, v := range plan {
+			if !avail[v] {
+				t.Errorf("trial %d: plan includes unavailable node %d", trial, v)
+			}
+			total += cost(v)
+		}
+		if math.Abs(total-pc.Cost) > 1e-9 {
+			t.Errorf("trial %d: PlanCost.Cost=%v but plan sums to %v", trial, pc.Cost, total)
+		}
+		if want := int64(pc.Surplus) * 68; pc.Bytes(68) != want {
+			t.Errorf("trial %d: Bytes(68)=%d, want %d", trial, pc.Bytes(68), want)
+		}
+
+		if pc.Blocks > baseLen {
+			t.Errorf("trial %d: economic plan reads %d blocks, single-ordering Plan reads %d",
+				trial, pc.Blocks, baseLen)
+		}
+		if pc.Blocks < baseLen {
+			improved++
+		}
+		if baseLen == g.Data && pc.Surplus != 0 {
+			t.Errorf("trial %d: base plan hit the floor but economic surplus is %d", trial, pc.Surplus)
+		}
+	}
+	t.Logf("economic plan beat the single ordering in %d/60 trials", improved)
+}
+
+func TestPlanEconomicInsufficient(t *testing.T) {
+	g := tornado96(t)
+	p := NewPlanner(g)
+	avail := make([]bool, g.Total) // nothing available
+	if _, _, err := p.PlanEconomic(avail, UnitCost); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("want ErrInsufficient, got %v", err)
+	}
+}

@@ -48,6 +48,7 @@ type Planner struct {
 	inPlan []bool    // candidate survives reverse-delete
 	erased []int     // every node this call erased, for unwinding
 	plan   []int
+	alt    []int // PlanEconomic's best-so-far snapshot
 }
 
 // NewPlanner returns a Planner for g.
@@ -60,14 +61,36 @@ func NewPlanner(g *graph.Graph) *Planner {
 		inPlan: make([]bool, g.Total),
 		erased: make([]int, 0, g.Total),
 		plan:   make([]int, 0, g.Total),
+		alt:    make([]int, 0, g.Total),
 	}
 }
+
+// ordering selects the reverse-delete drop order. Every ordering yields a
+// minimal (irreducible) plan; they differ in which minimal plan they land
+// on when costs are non-uniform.
+type ordering int
+
+const (
+	// orderCostDeep drops most-expensive first, deep check nodes first
+	// among equals — the cost-greedy default.
+	orderCostDeep ordering = iota
+	// orderCostShallow drops most-expensive first, shallow nodes first
+	// among equals.
+	orderCostShallow
+	// orderDeep ignores cost entirely and drops the deepest nodes first,
+	// chasing the smallest block count (fewest repair bytes).
+	orderDeep
+)
 
 // Plan selects a subset of the available nodes whose blocks reconstruct
 // all data, minimizing total cost greedily. available[v] reports whether
 // node v's block is retrievable at all. The returned slice is reused by
 // the next Plan call — callers that keep it must copy.
 func (p *Planner) Plan(available []bool, cost CostFunc) ([]int, float64, error) {
+	return p.planOrdered(available, cost, orderCostDeep)
+}
+
+func (p *Planner) planOrdered(available []bool, cost CostFunc, ord ordering) ([]int, float64, error) {
 	if len(available) != p.g.Total {
 		return nil, 0, errors.New("retrieval: availability vector size mismatch")
 	}
@@ -109,17 +132,34 @@ func (p *Planner) Plan(available []bool, cost CostFunc) ([]int, float64, error) 
 	// Reverse-delete: drop candidates most-expensive-first while the
 	// stripe remains decodable. Each probe is a one-node kernel delta,
 	// not a fresh peel.
-	slices.SortStableFunc(p.cands, func(a, b int) int {
-		ca, cb := p.costs[a], p.costs[b]
-		switch {
-		case ca > cb:
-			return -1
-		case ca < cb:
-			return 1
-		default:
-			return b - a // among equals, drop deep check nodes first
-		}
-	})
+	switch ord {
+	case orderDeep:
+		slices.SortStableFunc(p.cands, func(a, b int) int { return b - a })
+	case orderCostShallow:
+		slices.SortStableFunc(p.cands, func(a, b int) int {
+			ca, cb := p.costs[a], p.costs[b]
+			switch {
+			case ca > cb:
+				return -1
+			case ca < cb:
+				return 1
+			default:
+				return a - b // among equals, drop shallow nodes first
+			}
+		})
+	default:
+		slices.SortStableFunc(p.cands, func(a, b int) int {
+			ca, cb := p.costs[a], p.costs[b]
+			switch {
+			case ca > cb:
+				return -1
+			case ca < cb:
+				return 1
+			default:
+				return b - a // among equals, drop deep check nodes first
+			}
+		})
+	}
 	for _, v := range p.cands {
 		k.EraseOne(v)
 		if k.Eval() {
@@ -142,6 +182,56 @@ func (p *Planner) Plan(available []bool, cost CostFunc) ([]int, float64, error) 
 	restore()
 	p.erased = p.erased[:0]
 	return plan, total, nil
+}
+
+// PlanCost is the projected repair economics of a recovery plan.
+type PlanCost struct {
+	// Blocks is how many blocks the plan reads.
+	Blocks int
+	// Surplus is Blocks minus the data-block floor: the read amplification
+	// the degraded stripe forces, i.e. the projected repair reads. Zero for
+	// a healthy stripe.
+	Surplus int
+	// Cost is the plan's total CostFunc price (spin-ups, remote reads).
+	Cost float64
+}
+
+// Bytes converts the surplus into projected repair bytes given the
+// on-device frame size.
+func (c PlanCost) Bytes(frameSize int64) int64 { return int64(c.Surplus) * frameSize }
+
+// PlanEconomic selects the recovery plan with the fewest projected repair
+// bytes: it runs reverse-delete under several drop orderings and keeps the
+// plan reading the fewest blocks, breaking ties by CostFunc price. A plan
+// already at the data-block floor (Surplus 0 — every healthy stripe) wins
+// outright, so the healthy read path pays for exactly one ordering. The
+// returned slice is reused by the next call — callers that keep it must
+// copy.
+func (p *Planner) PlanEconomic(available []bool, cost CostFunc) ([]int, PlanCost, error) {
+	plan, total, err := p.planOrdered(available, cost, orderCostDeep)
+	if err != nil {
+		return nil, PlanCost{}, err
+	}
+	best := PlanCost{Blocks: len(plan), Surplus: len(plan) - p.g.Data, Cost: total}
+	if best.Surplus <= 0 {
+		return plan, best, nil // at the information floor; unbeatable
+	}
+	p.alt = append(p.alt[:0], plan...)
+	for _, ord := range [...]ordering{orderDeep, orderCostShallow} {
+		altPlan, altTotal, err := p.planOrdered(available, cost, ord)
+		if err != nil {
+			continue // cannot happen: feasibility is ordering-independent
+		}
+		c := PlanCost{Blocks: len(altPlan), Surplus: len(altPlan) - p.g.Data, Cost: altTotal}
+		if c.Blocks < best.Blocks || (c.Blocks == best.Blocks && c.Cost < best.Cost) {
+			best = c
+			p.alt = append(p.alt[:0], altPlan...)
+		}
+		if best.Surplus <= 0 {
+			break
+		}
+	}
+	return p.alt, best, nil
 }
 
 // Plan is the one-shot wrapper: build a throwaway Planner and run it.

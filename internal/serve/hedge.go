@@ -8,10 +8,37 @@ import (
 	"tornado/internal/archive"
 )
 
+// pickPrimary selects the replica with the least repair pressure — the one
+// whose reads are currently paying the least amplification for damage —
+// rotating by stripe index among replicas tied at the minimum so healthy
+// replicas still share steady-state load.
+func (s *Service) pickPrimary(st int) int {
+	minP := s.stores[0].RepairPressure()
+	ties := 1
+	for _, store := range s.stores[1:] {
+		switch p := store.RepairPressure(); {
+		case p < minP:
+			minP, ties = p, 1
+		case p == minP:
+			ties++
+		}
+	}
+	pick := st % ties
+	for i, store := range s.stores {
+		if store.RepairPressure() == minP {
+			if pick == 0 {
+				return i
+			}
+			pick--
+		}
+	}
+	return st % len(s.stores) // pressure moved underneath us; any replica works
+}
+
 // readStripeHedged reads one stripe, racing replicas when the first is
-// slow: the primary (rotated by stripe index so replicas share steady-state
-// load) gets HedgeDelay to answer; then the next replica is launched, and
-// so on. The first success wins and every other in-flight read is
+// slow: the primary (the lowest-repair-pressure replica, rotated by stripe
+// index among equals) gets HedgeDelay to answer; then the next replica is
+// launched, and so on. The first success wins and every other in-flight read is
 // cancelled. Errors only surface once all replicas have failed, so a
 // degraded or unrecoverable replica is masked by any healthy one.
 func (s *Service) readStripeHedged(ctx context.Context, k string, st int) ([]byte, archive.GetStats, error) {
@@ -38,7 +65,7 @@ func (s *Service) readStripeHedged(ctx context.Context, k string, st int) ([]byt
 		}()
 	}
 
-	primary := st % len(s.stores)
+	primary := s.pickPrimary(st)
 	launched := 1
 	launch(primary)
 	timer := time.NewTimer(s.cfg.HedgeDelay)

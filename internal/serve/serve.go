@@ -368,10 +368,11 @@ func (s *Service) stripe(ctx context.Context, k string, st int) ([]byte, error) 
 	if err != nil {
 		return nil, err
 	}
-	// Repair traffic accounting: every reconstructed block written back to
-	// its home device moved BlockSize bytes to heal the archive.
-	if stats.ReadRepairs > 0 {
-		s.mRepairBytes.Add(int64(stats.ReadRepairs) * int64(s.blockSize))
+	// Repair traffic accounting: the store's repairbw meter attributed this
+	// read's bill byte-exactly (degraded-get amplification plus read-repair
+	// write-backs); surface the total on the service counter.
+	if b := stats.Repair.Bytes(); b > 0 {
+		s.mRepairBytes.Add(b)
 	}
 	if s.cache != nil {
 		s.cache.add(k, st, payload)

@@ -201,7 +201,7 @@ type blockingBackend struct {
 	blocked int
 }
 
-func (b *blockingBackend) Read(ctx context.Context, node int, key string) ([]byte, error) {
+func (b *blockingBackend) Read(ctx context.Context, node int, key []byte) ([]byte, error) {
 	b.mu.Lock()
 	b.blocked++
 	b.mu.Unlock()
