@@ -13,12 +13,13 @@ test:
 # The steward federation stack, the simulation workers, the campaign
 # worker pool, the decode/adjust certification loops, the serving layer
 # (hedged reads, admission, stripe cache), the parallel stream data path,
-# and the load generator are the concurrency-heavy packages; run them
-# under the race detector.
+# the load generator, the joint-decode federation search, the chaos/WAN
+# injectors, and the federated store (disaster soak) are the
+# concurrency-heavy packages; run them under the race detector.
 race:
 	$(GO) test -race ./internal/steward/ ./internal/sim/ ./internal/obs/ ./internal/campaign/ \
 		./internal/decode/ ./internal/adjust/ ./internal/serve/ ./internal/archive/ \
-		./internal/workload/
+		./internal/workload/ ./internal/federation/ ./internal/chaos/ ./internal/fedstore/
 
 vet:
 	$(GO) vet ./...
@@ -37,12 +38,15 @@ fuzz:
 # load generator over a chaos backend with a concurrent scrub, plus the
 # stream/encode data-path loops), and the repair economics (the extended
 # RAID comparison plus a measured single-device-loss accounting run),
-# writing BENCH_decode.json, BENCH_defect.json, BENCH_serve.json, and
-# BENCH_repair.json; -check enforces the zero-allocation invariant on the
-# steady-state kernel paths, the bit-exact-or-error invariant on the
-# chaos load run, the backend-contract allocation budget on the stream
-# stripe loop, exact repair-byte attribution, and the degree-aware
-# placement's cross-group read reduction.
+# writing BENCH_decode.json, BENCH_defect.json, BENCH_serve.json,
+# BENCH_repair.json, and BENCH_federation.json; -check enforces the
+# zero-allocation invariant on the steady-state kernel paths, the
+# bit-exact-or-error invariant on the chaos load run, the
+# backend-contract allocation budget on the stream stripe loop, exact
+# repair-byte attribution, the degree-aware placement's cross-group read
+# reduction, and the federation gates (mirrored critical sets jointly
+# recoverable, zero residue after a full site wipe, every cross-site
+# repair byte attributed).
 bench:
 	$(GO) run ./cmd/benchreport -check
 

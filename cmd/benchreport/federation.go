@@ -1,0 +1,272 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"tornado"
+	"tornado/internal/archive"
+	"tornado/internal/device"
+	"tornado/internal/federation"
+	"tornado/internal/fedstore"
+	"tornado/internal/graph"
+)
+
+// fedReport is the BENCH_federation.json payload: the paper's §5.3
+// federation experiment (Table 7) at report scale. It compares each
+// certified graph's single-site first failure against the detected joint
+// first failure of every pair and of the full triple under block exchange,
+// then backs the analysis with a measured chaos-free disaster run — full
+// wipe of one site in a live 3-site fedstore, cross-site repair through
+// RepairSite — whose byte accounting must conserve exactly (-check).
+type fedReport struct {
+	GeneratedUnix int64  `json:"generated_unix"`
+	GoVersion     string `json:"go_version"`
+
+	// Sites are the single-site baselines from the shipped certificates.
+	Sites []fedSiteRow `json:"sites"`
+	// Joint holds the detected joint first failure for every pair and the
+	// full triple. DetectedFirstFailure 0 means the search produced no
+	// witness at all — evidence of complementarity, not of failure.
+	Joint []fedJointRow `json:"joint"`
+
+	Disaster fedDisaster `json:"disaster"`
+}
+
+// fedSiteRow is one certified graph standing alone.
+type fedSiteRow struct {
+	Graph        string `json:"graph"`
+	FirstFailure int    `json:"first_failure"`
+	CriticalSets int    `json:"critical_sets"`
+}
+
+// fedJointRow is one graph combination under joint block exchange.
+type fedJointRow struct {
+	Graphs []string `json:"graphs"`
+	// DetectedFirstFailure is the total devices erased across all sites in
+	// the smallest witnessed joint failure (the paper's "first failure
+	// detected"); 0 when no witness was found.
+	DetectedFirstFailure int `json:"detected_first_failure"`
+	// BestSingleSite is the largest certified single-site first failure in
+	// the combination — the baseline the federation must beat.
+	BestSingleSite int `json:"best_single_site"`
+	// SurvivesMirroredCriticalSets reports the §5.3 claim checked
+	// directly: every certified critical set of every member graph, erased
+	// identically at ALL sites at once, is jointly recoverable by
+	// exchange even though it defeats its home site alone.
+	SurvivesMirroredCriticalSets bool `json:"survives_mirrored_critical_sets"`
+}
+
+// fedDisaster is the measured disaster-recovery run: a live 3-site
+// federation (one certified graph per site), one site's media wiped, the
+// WAN repair path timed and metered.
+type fedDisaster struct {
+	Sites       int   `json:"sites"`
+	Objects     int   `json:"objects"`
+	BytesStored int64 `json:"bytes_stored"`
+	Victim      int   `json:"victim"`
+
+	// Cross-site traffic to restore the wiped site (framed bytes over the
+	// archive block interface, billed to the federation repair cause).
+	RepairBytesRead    int64 `json:"repair_bytes_read"`
+	RepairBytesWritten int64 `json:"repair_bytes_written"`
+	RepairBlocksRead   int   `json:"repair_blocks_read"`
+	RepairBlocksWrit   int   `json:"repair_blocks_written"`
+	// RepairBytesPerStoredByte is cross-site repair traffic per payload
+	// byte the federation holds — the cost of one site loss.
+	RepairBytesPerStoredByte float64 `json:"repair_bytes_per_stored_byte"`
+
+	ShellsSynced     int `json:"shells_synced"`
+	DirectImports    int `json:"direct_imports"`
+	ExchangedStripes int `json:"exchanged_stripes"`
+
+	RecoverySeconds float64 `json:"recovery_seconds"`
+
+	// Residue after repair; both must be zero (-check).
+	MissingAfter  int `json:"missing_after"`
+	Unrecoverable int `json:"unrecoverable"`
+	// Conservation: site federation meters minus the facade's own tally.
+	// Both must be zero (-check) — every cross-site byte attributed.
+	UnattributedReadBytes  int64 `json:"unattributed_read_bytes"`
+	UnattributedWriteBytes int64 `json:"unattributed_write_bytes"`
+}
+
+// parseCertificate pulls the certified first failure and the critical-set
+// erasure lists out of a shipped .cert record.
+func parseCertificate(name string) (firstFailure int, sets [][]int, err error) {
+	cert, err := tornado.PrecompiledCertificate(name)
+	if err != nil {
+		return 0, nil, err
+	}
+	for _, line := range strings.Split(cert, "\n") {
+		if rest, ok := strings.CutPrefix(line, "first-failure:"); ok {
+			firstFailure, err = strconv.Atoi(strings.TrimSpace(rest))
+			if err != nil {
+				return 0, nil, fmt.Errorf("bad first-failure in %s cert: %w", name, err)
+			}
+			continue
+		}
+		rest, ok := strings.CutPrefix(line, "critical-set:")
+		if !ok {
+			continue
+		}
+		rest = strings.Trim(strings.TrimSpace(rest), "[]")
+		var set []int
+		for _, fld := range strings.Fields(rest) {
+			v, err := strconv.Atoi(fld)
+			if err != nil {
+				return 0, nil, fmt.Errorf("bad critical-set in %s cert: %w", name, err)
+			}
+			set = append(set, v)
+		}
+		sets = append(sets, set)
+	}
+	if firstFailure == 0 {
+		return 0, nil, fmt.Errorf("no first-failure line in %s cert", name)
+	}
+	return firstFailure, sets, nil
+}
+
+// survivesMirrored checks the §5.3 exchange claim head on: every critical
+// set of every member, erased identically at all sites, must be jointly
+// recoverable.
+func survivesMirrored(sys *federation.System, sites int, critical [][]federation.CriticalSet) bool {
+	for _, sets := range critical {
+		for _, cs := range sets {
+			erased := make([][]int, sites)
+			for i := range erased {
+				erased[i] = cs.Erased
+			}
+			if !sys.JointRecoverable(erased) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// federationSection builds the federation report over the three shipped
+// certified graphs. The caller applies the -check gates.
+func federationSection() fedReport {
+	rep := fedReport{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+	}
+	names := []string{"tornado96-1", "tornado96-2", "tornado96-3"}
+	graphs := make([]*graph.Graph, len(names))
+	firstFailures := make([]int, len(names))
+	critical := make([][]federation.CriticalSet, len(names))
+	for i, name := range names {
+		g, err := tornado.LoadPrecompiled(name)
+		if err != nil {
+			fatal(err)
+		}
+		ff, sets, err := parseCertificate(name)
+		if err != nil {
+			fatal(err)
+		}
+		graphs[i] = g
+		firstFailures[i] = ff
+		critical[i] = federation.CriticalSets(g, sets)
+		rep.Sites = append(rep.Sites, fedSiteRow{Graph: name, FirstFailure: ff, CriticalSets: len(sets)})
+	}
+
+	// Every pair, then the full triple.
+	combos := [][]int{{0, 1}, {0, 2}, {1, 2}, {0, 1, 2}}
+	for _, combo := range combos {
+		row := fedJointRow{}
+		sites := make([]*graph.Graph, len(combo))
+		crit := make([][]federation.CriticalSet, len(combo))
+		for i, gi := range combo {
+			row.Graphs = append(row.Graphs, names[gi])
+			sites[i] = graphs[gi]
+			crit[i] = critical[gi]
+			if firstFailures[gi] > row.BestSingleSite {
+				row.BestSingleSite = firstFailures[gi]
+			}
+		}
+		sys, err := federation.NewSystem(sites...)
+		if err != nil {
+			fatal(err)
+		}
+		det, err := sys.DetectFirstFailure(crit, federation.SearchOptions{Seed: 2006, Restarts: 8})
+		if err == nil {
+			row.DetectedFirstFailure = det.TotalErased
+		}
+		row.SurvivesMirroredCriticalSets = survivesMirrored(sys, len(combo), crit)
+		rep.Joint = append(rep.Joint, row)
+	}
+
+	rep.Disaster = disasterRun(names, graphs)
+	return rep
+}
+
+// disasterRun wipes one site of a live 3-site federation and measures the
+// WAN repair. Chaos-free and single-threaded: the numbers are exactly
+// reproducible modulo wall time.
+func disasterRun(names []string, graphs []*graph.Graph) fedDisaster {
+	const blockSize = 64
+	const objects = 8
+	d := fedDisaster{Sites: len(graphs), Objects: objects}
+	stores := make([]*archive.Store, len(graphs))
+	arrays := make([]device.Array, len(graphs))
+	for i, g := range graphs {
+		arrays[i] = device.NewArray(g.Total)
+		s, err := archive.New(g, arrays[i], archive.Config{BlockSize: blockSize})
+		if err != nil {
+			fatal(err)
+		}
+		stores[i] = s
+	}
+	f, err := fedstore.New(stores, fedstore.Config{})
+	if err != nil {
+		fatal(err)
+	}
+	capacity := f.Layout().DataNodes * blockSize
+	for i := 0; i < objects; i++ {
+		size := capacity/2 + i*capacity/3 + 7
+		data := make([]byte, size)
+		for j := range data {
+			data[j] = byte((i*131 + j*17) % 256)
+		}
+		if err := f.Put(fmt.Sprintf("obj-%02d", i), data); err != nil {
+			fatal(err)
+		}
+		d.BytesStored += int64(size)
+	}
+
+	// The disaster: every device at the victim site wiped to a blank
+	// replacement; object metadata survives.
+	d.Victim = 0
+	for id := range arrays[d.Victim] {
+		arrays[d.Victim][id].Fail()
+		arrays[d.Victim][id].Replace()
+	}
+
+	start := time.Now()
+	rep, err := f.RepairSite(d.Victim)
+	if err != nil {
+		fatal(err)
+	}
+	d.RecoverySeconds = time.Since(start).Seconds()
+	d.RepairBytesRead = rep.Exchange.BytesRead
+	d.RepairBytesWritten = rep.Exchange.BytesWritten
+	d.RepairBlocksRead = rep.Exchange.BlocksRead
+	d.RepairBlocksWrit = rep.Exchange.BlocksWritten
+	if d.BytesStored > 0 {
+		d.RepairBytesPerStoredByte = float64(d.RepairBytesRead+d.RepairBytesWritten) / float64(d.BytesStored)
+	}
+	d.ShellsSynced = rep.ShellsSynced
+	d.DirectImports = rep.DirectImports
+	d.ExchangedStripes = rep.ExchangedStripes
+	d.MissingAfter = rep.MissingAfter
+	d.Unrecoverable = rep.Unrecoverable
+
+	facade, meters := f.ExchangeTotals(), f.SiteFederationTotals()
+	d.UnattributedReadBytes = meters.BytesRead - facade.BytesRead
+	d.UnattributedWriteBytes = meters.BytesWritten - facade.BytesWritten
+	return d
+}

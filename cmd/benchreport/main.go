@@ -31,6 +31,7 @@ import (
 	"math/rand/v2"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -128,6 +129,7 @@ func main() {
 	defectOut := flag.String("defect-o", "BENCH_defect.json", "defect-scan report output path")
 	serveOut := flag.String("serve-o", "BENCH_serve.json", "serve-layer report output path")
 	repairOut := flag.String("repair-o", "BENCH_repair.json", "repair-economics report output path")
+	fedOut := flag.String("federation-o", "BENCH_federation.json", "federation report output path")
 	check := flag.Bool("check", false, "exit nonzero if a steady-state kernel benchmark allocates")
 	flag.Parse()
 
@@ -214,6 +216,20 @@ func main() {
 		rrep.Measured.UnattributedReadBytes, rrep.Measured.UnattributedWriteBytes)
 	writeJSON(*repairOut, rrep)
 
+	// The federation report: §5.3 joint tolerance for every certified
+	// graph combination, plus the measured 3-site disaster-recovery run.
+	frep := federationSection()
+	for _, row := range frep.Joint {
+		fmt.Printf("federation: %-35s joint first-failure %2d (best single site %d, mirrored critical sets survive: %v)\n",
+			strings.Join(row.Graphs, "+"), row.DetectedFirstFailure, row.BestSingleSite,
+			row.SurvivesMirroredCriticalSets)
+	}
+	fmt.Printf("federation disaster: site %d wiped, %.0f KiB moved cross-site (%.2f bytes/stored byte) in %.3fs, residue missing=%d\n",
+		frep.Disaster.Victim,
+		float64(frep.Disaster.RepairBytesRead+frep.Disaster.RepairBytesWritten)/1024,
+		frep.Disaster.RepairBytesPerStoredByte, frep.Disaster.RecoverySeconds, frep.Disaster.MissingAfter)
+	writeJSON(*fedOut, frep)
+
 	if *check {
 		failed := false
 		all := append(append([]result(nil), rep.Benchmarks...), drep.Benchmarks...)
@@ -259,6 +275,28 @@ func main() {
 					row.System, row.RemoteReadsPerLoss, identityRemote[row.System])
 				failed = true
 			}
+		}
+		// Federation gates: every certified critical set, mirrored across
+		// all sites, must survive joint exchange (zero data loss on the
+		// certified complementary sets), the wiped site must come back
+		// whole, and the cross-site byte accounting must conserve exactly
+		// (zero unattributed federation bytes).
+		for _, row := range frep.Joint {
+			if !row.SurvivesMirroredCriticalSets {
+				fmt.Fprintf(os.Stderr, "benchreport: federation %s lost data on a mirrored certified critical set; complementary exchange must recover all of them\n",
+					strings.Join(row.Graphs, "+"))
+				failed = true
+			}
+		}
+		if frep.Disaster.MissingAfter != 0 || frep.Disaster.Unrecoverable != 0 {
+			fmt.Fprintf(os.Stderr, "benchreport: federation disaster run left missing=%d unrecoverable=%d at the wiped site\n",
+				frep.Disaster.MissingAfter, frep.Disaster.Unrecoverable)
+			failed = true
+		}
+		if frep.Disaster.UnattributedReadBytes != 0 || frep.Disaster.UnattributedWriteBytes != 0 {
+			fmt.Fprintf(os.Stderr, "benchreport: federation repair leaked %d read / %d written bytes unattributed; every cross-site byte must carry the federation cause\n",
+				frep.Disaster.UnattributedReadBytes, frep.Disaster.UnattributedWriteBytes)
+			failed = true
 		}
 		if failed {
 			os.Exit(1)

@@ -27,6 +27,7 @@ import (
 	"math"
 	"math/rand/v2"
 	"sync"
+	"time"
 
 	"tornado/internal/archive"
 	"tornado/internal/obs"
@@ -51,12 +52,13 @@ const (
 	ClassWriteTransient = "write_transient" // write fails with ErrInjected, nothing persisted
 	ClassNodeLoss       = "node_loss"       // node becomes permanently unreachable
 	ClassFlap           = "flap"            // node unavailable for a bounded op window
+	ClassLatency        = "latency"         // op delayed by an injected slow-path stall
 )
 
 // Classes lists every fault class in counter-name order.
 var Classes = []string{
 	ClassBitFlip, ClassReadCorruption, ClassTruncate, ClassTornWrite,
-	ClassReadTransient, ClassWriteTransient, ClassNodeLoss, ClassFlap,
+	ClassReadTransient, ClassWriteTransient, ClassNodeLoss, ClassFlap, ClassLatency,
 }
 
 // Config is the injection schedule: a seed and a per-operation probability
@@ -91,6 +93,16 @@ type Config struct {
 	FlapRate   float64
 	FlapWindow int // default 16 ops
 
+	// Injected latency: the op stalls for a seeded draw in
+	// [LatencyMin, LatencyMax] before touching the inner backend. The
+	// stall happens outside the injector mutex and respects the op
+	// context, so slow nodes delay only their own callers. Zero rates
+	// draw no randomness; see also SlowNode for a persistent stall.
+	ReadLatencyRate  float64
+	WriteLatencyRate float64
+	LatencyMin       time.Duration // default 1ms when a latency rate is set
+	LatencyMax       time.Duration // default 10ms
+
 	// Metrics receives the chaos.* counters; nil gets a private registry.
 	Metrics *obs.Registry
 }
@@ -113,6 +125,7 @@ type Injector struct {
 	lost        []bool
 	lostByRate  int
 	flapUntil   []int64
+	slow        []time.Duration  // persistent per-node stall (SlowNode)
 	outstanding map[frameID]bool // frames corrupt at rest, not yet rewritten
 	quiesced    bool
 
@@ -141,6 +154,7 @@ func Wrap(inner archive.Backend, cfg Config) *Injector {
 		rng:         rand.New(rand.NewPCG(cfg.Seed, 0xC4A05)),
 		lost:        make([]bool, inner.Nodes()),
 		flapUntil:   make([]int64, inner.Nodes()),
+		slow:        make([]time.Duration, inner.Nodes()),
 		outstanding: map[frameID]bool{},
 		metrics:     reg,
 		injected:    map[string]*obs.Counter{},
@@ -201,16 +215,20 @@ func (in *Injector) Ops() int64 {
 	return in.ops
 }
 
-// Quiesce stops all new fault injection and ends active flap windows.
-// Already-lost nodes stay lost (the loss was permanent) and frames already
-// corrupt at rest stay corrupt — a post-quiesce repair scrub is what heals
-// them, which is exactly what soak campaigns verify.
+// Quiesce stops all new fault injection, ends active flap windows, and
+// clears persistent SlowNode stalls. Already-lost nodes stay lost (the
+// loss was permanent) and frames already corrupt at rest stay corrupt — a
+// post-quiesce repair scrub is what heals them, which is exactly what soak
+// campaigns verify.
 func (in *Injector) Quiesce() {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.quiesced = true
 	for i := range in.flapUntil {
 		in.flapUntil[i] = 0
+	}
+	for i := range in.slow {
+		in.slow[i] = 0
 	}
 }
 
@@ -250,6 +268,23 @@ func (in *Injector) FlapNode(node, window int) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.flapLocked(node, window)
+}
+
+// SlowNode installs a persistent per-op stall on node — every read and
+// write of that node sleeps d (respecting the op context) before touching
+// the inner backend. d <= 0 clears the stall. Explicit like LoseNode, it
+// consumes no randomness; Quiesce clears it. This is the slow-replica
+// source for brownout scenarios and hedged-read tests.
+func (in *Injector) SlowNode(node int, d time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	if d > 0 && in.slow[node] == 0 {
+		in.injected[ClassLatency].Inc()
+	}
+	in.slow[node] = d
 }
 
 // CorruptStored flips one deterministic bit of the stored frame and
@@ -332,6 +367,9 @@ func (in *Injector) Read(ctx context.Context, node int, key []byte) ([]byte, err
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if err := in.stall(ctx, node, in.cfg.ReadLatencyRate); err != nil {
+		return nil, err
+	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.ops++
@@ -401,6 +439,9 @@ func (in *Injector) Write(ctx context.Context, node int, key []byte, data []byte
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	if err := in.stall(ctx, node, in.cfg.WriteLatencyRate); err != nil {
+		return err
+	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.ops++
@@ -445,6 +486,58 @@ func (in *Injector) Delete(ctx context.Context, node int, key []byte) error {
 	}
 	in.mu.Unlock()
 	return in.inner.Delete(ctx, node, key)
+}
+
+// stall applies the injected latency for one op on node: the persistent
+// SlowNode delay plus, when rate rolls, a seeded draw from
+// [LatencyMin, LatencyMax]. The draw happens under the injector mutex (so
+// sequential schedules stay deterministic) but the sleep happens outside
+// it, so one stalled op never blocks the rest of the fault schedule. A
+// cancelled stall returns the context error without touching the inner
+// backend. Zero rates and unset SlowNode make this a no-op that consumes
+// no randomness.
+func (in *Injector) stall(ctx context.Context, node int, rate float64) error {
+	in.mu.Lock()
+	d := in.slow[node]
+	if !in.quiesced && in.roll(rate) {
+		d += in.latencyDrawLocked()
+		in.injected[ClassLatency].Inc()
+	}
+	in.mu.Unlock()
+	if d <= 0 {
+		return nil
+	}
+	return sleepCtx(ctx, d)
+}
+
+// latencyDrawLocked picks one stall duration from the configured band.
+func (in *Injector) latencyDrawLocked() time.Duration {
+	lo, hi := in.cfg.LatencyMin, in.cfg.LatencyMax
+	if lo <= 0 {
+		lo = time.Millisecond
+	}
+	if hi < lo {
+		hi = 10 * time.Millisecond
+		if hi < lo {
+			hi = lo
+		}
+	}
+	if hi == lo {
+		return lo
+	}
+	return lo + time.Duration(in.rng.Int64N(int64(hi-lo)+1))
+}
+
+// sleepCtx sleeps for d or until ctx is cancelled, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // --- internals (callers hold in.mu) ---

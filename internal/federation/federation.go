@@ -10,6 +10,7 @@ package federation
 
 import (
 	"fmt"
+	"sync"
 
 	"tornado/internal/decode"
 	"tornado/internal/graph"
@@ -18,9 +19,12 @@ import (
 // System is a federated store: Sites[i] is the erasure graph protecting the
 // replica at site i. All graphs must agree on the data node count (they
 // protect the same logical blocks); device numbering is per-site.
+//
+// Decoder state is per call (a sync.Pool of per-site decoder sets), so
+// JointDecode and the searches built on it are safe for concurrent use.
 type System struct {
-	sites    []*graph.Graph
-	decoders []*decode.Decoder
+	sites []*graph.Graph
+	pool  sync.Pool // of []*decode.Decoder, one per site, Reset between uses
 }
 
 // NewSystem builds a federation over the given site graphs.
@@ -29,14 +33,34 @@ func NewSystem(sites ...*graph.Graph) (*System, error) {
 		return nil, fmt.Errorf("federation: need at least 2 sites, got %d", len(sites))
 	}
 	data := sites[0].Data
-	s := &System{sites: sites}
 	for i, g := range sites {
 		if g.Data != data {
 			return nil, fmt.Errorf("federation: site %d has %d data nodes, site 0 has %d", i, g.Data, data)
 		}
-		s.decoders = append(s.decoders, decode.New(g))
+	}
+	s := &System{sites: sites}
+	s.pool.New = func() any {
+		ds := make([]*decode.Decoder, len(sites))
+		for i, g := range sites {
+			ds[i] = decode.New(g)
+		}
+		return ds
 	}
 	return s, nil
+}
+
+// acquire checks out a clean per-site decoder set; release Resets it and
+// returns it to the pool. decode.Decoder is not safe for concurrent use,
+// so every JointDecode call works on its own set.
+func (s *System) acquire() []*decode.Decoder {
+	return s.pool.Get().([]*decode.Decoder)
+}
+
+func (s *System) release(ds []*decode.Decoder) {
+	for _, d := range ds {
+		d.Reset()
+	}
+	s.pool.Put(ds)
 }
 
 // Sites returns the number of sites.
@@ -58,19 +82,17 @@ func (s *System) TotalDevices() int {
 // offline devices at site i (graph-local node IDs). Sites peel
 // independently, then exchange every data block any site holds, repeating
 // to fixpoint. It returns whether all data survived and the lost blocks.
+// Safe for concurrent use.
 func (s *System) JointDecode(erased [][]int) (ok bool, lost []int) {
 	if len(erased) != len(s.sites) {
 		panic(fmt.Sprintf("federation: %d erasure sets for %d sites", len(erased), len(s.sites)))
 	}
-	for i, d := range s.decoders {
+	decoders := s.acquire()
+	defer s.release(decoders)
+	for i, d := range decoders {
 		d.Erase(erased[i]...)
 		d.Peel()
 	}
-	defer func() {
-		for _, d := range s.decoders {
-			d.Reset()
-		}
-	}()
 
 	data := s.Data()
 	for changed := true; changed; {
@@ -78,7 +100,7 @@ func (s *System) JointDecode(erased [][]int) (ok bool, lost []int) {
 		for v := 0; v < data; v++ {
 			present := false
 			missing := false
-			for _, d := range s.decoders {
+			for _, d := range decoders {
 				if d.Present(v) {
 					present = true
 				} else {
@@ -86,20 +108,20 @@ func (s *System) JointDecode(erased [][]int) (ok bool, lost []int) {
 				}
 			}
 			if present && missing {
-				for _, d := range s.decoders {
+				for _, d := range decoders {
 					d.Supply(v) // no-op where already present
 				}
 				changed = true
 			}
 		}
 		if changed {
-			for _, d := range s.decoders {
+			for _, d := range decoders {
 				d.Peel()
 			}
 		}
 	}
 	for v := 0; v < data; v++ {
-		if !s.decoders[0].Present(v) {
+		if !decoders[0].Present(v) {
 			// After exchange, a block missing at one site is missing at
 			// all sites.
 			lost = append(lost, v)

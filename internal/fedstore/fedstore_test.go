@@ -1,0 +1,345 @@
+package fedstore
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"tornado/internal/archive"
+	"tornado/internal/chaos"
+	"tornado/internal/core"
+	"tornado/internal/device"
+	"tornado/internal/graph"
+	"tornado/internal/raid"
+)
+
+// site is one test site: its store, raw devices, and transparent injector
+// (zero rates — used only for explicit LoseNode/VoidNode manipulation).
+type site struct {
+	store *archive.Store
+	devs  device.Array
+	inj   *chaos.Injector
+}
+
+func newSiteWithGraph(t *testing.T, g *graph.Graph, blockSize int) site {
+	t.Helper()
+	devs := device.NewArray(g.Total)
+	inj := chaos.Wrap(archive.NewArrayBackend(devs), chaos.Config{})
+	store, err := archive.NewWithBackend(g, inj, archive.Config{BlockSize: blockSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return site{store: store, devs: devs, inj: inj}
+}
+
+func tornadoGraph(t *testing.T, seed uint64) *graph.Graph {
+	t.Helper()
+	p := core.DefaultParams()
+	p.TotalNodes = 32
+	g, _, err := core.Generate(p, rand.New(rand.NewPCG(seed, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func fedOver(t *testing.T, cfg Config, sites ...site) (*Store, []site) {
+	t.Helper()
+	stores := make([]*archive.Store, len(sites))
+	for i, s := range sites {
+		stores[i] = s.store
+	}
+	f, err := New(stores, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, sites
+}
+
+func testPayload(n int, seed uint64) []byte {
+	rng := rand.New(rand.NewPCG(seed, 0))
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.IntN(256))
+	}
+	return b
+}
+
+// wipeSite destroys every device at a site (blank replacements), keeping
+// the store's object metadata — the disaster model where the steward
+// database survives but the media does not.
+func wipeSite(s site) {
+	for i := range s.devs {
+		s.devs[i].Fail()
+		s.inj.VoidNode(i)
+		s.devs[i].Replace()
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	a := newSiteWithGraph(t, tornadoGraph(t, 1), 32)
+	if _, err := New([]*archive.Store{a.store}, Config{}); err == nil {
+		t.Error("single site accepted")
+	}
+	b := newSiteWithGraph(t, tornadoGraph(t, 2), 64) // block size differs
+	if _, err := New([]*archive.Store{a.store, b.store}, Config{}); err == nil {
+		t.Error("mismatched block sizes accepted")
+	}
+	w := chaos.NewWAN(chaos.WANConfig{Sites: 3})
+	c := newSiteWithGraph(t, tornadoGraph(t, 3), 32)
+	if _, err := New([]*archive.Store{a.store, c.store}, Config{WAN: w}); err == nil {
+		t.Error("WAN site-count mismatch accepted")
+	}
+}
+
+func TestPutGetSiteFailover(t *testing.T) {
+	w := chaos.NewWAN(chaos.WANConfig{Sites: 2})
+	f, _ := fedOver(t, Config{WAN: w, WriteQuorum: 2},
+		newSiteWithGraph(t, tornadoGraph(t, 1), 32),
+		newSiteWithGraph(t, tornadoGraph(t, 2), 32))
+	data := testPayload(900, 5)
+	if err := f.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	// Healthy read.
+	got, err := f.Get("obj")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("healthy get: err=%v exact=%v", err, bytes.Equal(got, data))
+	}
+	// Site 0 gone: reads fail over to site 1.
+	w.LoseSite(0)
+	got, err = f.Get("obj")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("failover get: err=%v exact=%v", err, bytes.Equal(got, data))
+	}
+	// Both gone: definitive error, not silence.
+	w.LoseSite(1)
+	if _, err := f.Get("obj"); !errors.Is(err, ErrNoSite) {
+		t.Errorf("all-down get err = %v, want ErrNoSite", err)
+	}
+	w.RestoreSite(0)
+	w.RestoreSite(1)
+	if _, err := f.Get("missing"); !errors.Is(err, archive.ErrNotFound) {
+		t.Errorf("missing object err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestPutQuorumRefusalAndRollback(t *testing.T) {
+	w := chaos.NewWAN(chaos.WANConfig{Sites: 3})
+	f, sites := fedOver(t, Config{WAN: w}, // quorum defaults to all 3
+		newSiteWithGraph(t, tornadoGraph(t, 1), 32),
+		newSiteWithGraph(t, tornadoGraph(t, 2), 32),
+		newSiteWithGraph(t, tornadoGraph(t, 3), 32))
+	w.LoseSite(2)
+	err := f.Put("obj", testPayload(500, 1))
+	if !errors.Is(err, ErrSiteQuorum) {
+		t.Fatalf("put below quorum err = %v, want ErrSiteQuorum", err)
+	}
+	// Nothing may remain anywhere.
+	for i, s := range sites {
+		if _, err := s.store.Stat("obj"); !errors.Is(err, archive.ErrNotFound) {
+			t.Errorf("site %d kept the refused object (err=%v)", i, err)
+		}
+	}
+	if f.Metrics().Counter("fedstore.put.quorum_refused").Value() == 0 {
+		t.Error("quorum refusal not counted")
+	}
+
+	// Quorum 2 allows degraded writes to the two surviving sites.
+	f2, sites2 := fedOver(t, Config{WAN: w, WriteQuorum: 2},
+		newSiteWithGraph(t, tornadoGraph(t, 4), 32),
+		newSiteWithGraph(t, tornadoGraph(t, 5), 32),
+		newSiteWithGraph(t, tornadoGraph(t, 6), 32))
+	data := testPayload(500, 2)
+	if err := f2.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sites2[2].store.Stat("obj"); !errors.Is(err, archive.ErrNotFound) {
+		t.Error("down site somehow received the object")
+	}
+	got, err := f2.Get("obj")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("degraded get: err=%v", err)
+	}
+}
+
+// TestExchangeRecoversWhatNoSiteCanAlone is the live version of the
+// paper's block exchange: each site's losses defeat that site alone, but
+// the federation recovers by shipping data blocks between sites.
+func TestExchangeRecoversWhatNoSiteCanAlone(t *testing.T) {
+	g := raid.MirroredGraph(4) // data 0..3 mirrored at 4..7
+	a := newSiteWithGraph(t, g, 32)
+	b := newSiteWithGraph(t, g.Clone(), 32)
+	f, _ := fedOver(t, Config{}, a, b)
+	data := testPayload(4*32, 7) // one full stripe
+	if err := f.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	// Site A loses both copies of block 0; site B both copies of block 1.
+	a.inj.LoseNode(0)
+	a.inj.LoseNode(4)
+	b.inj.LoseNode(1)
+	b.inj.LoseNode(5)
+	if _, _, err := a.store.Get("obj"); !errors.Is(err, archive.ErrDataLoss) {
+		t.Fatalf("site A alone should report data loss, got %v", err)
+	}
+	if _, _, err := b.store.Get("obj"); !errors.Is(err, archive.ErrDataLoss) {
+		t.Fatalf("site B alone should report data loss, got %v", err)
+	}
+	got, err := f.Get("obj")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("federated get: err=%v exact=%v", err, bytes.Equal(got, data))
+	}
+	if f.Metrics().Counter("fedstore.exchange.stripes").Value() == 0 {
+		t.Error("exchange not counted")
+	}
+	// The exchange traffic must appear in the sites' federation meters.
+	if f.SiteFederationTotals().Zero() {
+		t.Error("no federation-cause bytes billed at the sites")
+	}
+}
+
+func TestPartitionBlocksExchange(t *testing.T) {
+	g := raid.MirroredGraph(4)
+	w := chaos.NewWAN(chaos.WANConfig{Sites: 2})
+	a := newSiteWithGraph(t, g, 32)
+	b := newSiteWithGraph(t, g.Clone(), 32)
+	f, _ := fedOver(t, Config{WAN: w}, a, b)
+	data := testPayload(4*32, 8)
+	if err := f.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	a.inj.LoseNode(0)
+	a.inj.LoseNode(4)
+	b.inj.LoseNode(1)
+	b.inj.LoseNode(5)
+	// With the inter-site link cut, neither site can be rescued.
+	w.Partition(0, 1)
+	if _, err := f.Get("obj"); !errors.Is(err, archive.ErrDataLoss) {
+		t.Fatalf("partitioned get err = %v, want ErrDataLoss", err)
+	}
+	// Healing the link heals the read.
+	w.HealLink(0, 1)
+	got, err := f.Get("obj")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("post-heal get: err=%v", err)
+	}
+}
+
+func TestRepairSiteAfterFullWipe(t *testing.T) {
+	f, sites := fedOver(t, Config{},
+		newSiteWithGraph(t, tornadoGraph(t, 21), 32),
+		newSiteWithGraph(t, tornadoGraph(t, 22), 32),
+		newSiteWithGraph(t, tornadoGraph(t, 23), 32))
+	var names []string
+	var datas [][]byte
+	for i := 0; i < 4; i++ {
+		name := string(rune('a' + i))
+		data := testPayload(200+137*i, uint64(i))
+		if err := f.Put(name, data); err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, name)
+		datas = append(datas, data)
+	}
+	wipeSite(sites[0])
+	// The wiped site alone is useless.
+	if _, _, err := sites[0].store.Get(names[0]); !errors.Is(err, archive.ErrDataLoss) {
+		t.Fatalf("wiped site get err = %v, want ErrDataLoss", err)
+	}
+	rep, err := f.RepairSite(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MissingAfter != 0 || rep.Unrecoverable != 0 {
+		t.Fatalf("repair residue: missing=%d unrecoverable=%d", rep.MissingAfter, rep.Unrecoverable)
+	}
+	if rep.DirectImports == 0 {
+		t.Error("full wipe repaired with zero imports")
+	}
+	// Conservation: the facade's tally must equal the sites' federation
+	// meters exactly — every byte attributed, none invented.
+	if got, want := f.ExchangeTotals(), f.SiteFederationTotals(); got != want {
+		t.Errorf("conservation: facade %+v != sites %+v", got, want)
+	}
+	// The repaired site must now serve everything alone.
+	for i, name := range names {
+		got, _, err := sites[0].store.Get(name)
+		if err != nil || !bytes.Equal(got, datas[i]) {
+			t.Errorf("repaired site get %q: err=%v exact=%v", name, err, bytes.Equal(got, datas[i]))
+		}
+	}
+}
+
+func TestRepairSiteSyncsShells(t *testing.T) {
+	w := chaos.NewWAN(chaos.WANConfig{Sites: 2})
+	f, sites := fedOver(t, Config{WAN: w, WriteQuorum: 1},
+		newSiteWithGraph(t, tornadoGraph(t, 31), 32),
+		newSiteWithGraph(t, tornadoGraph(t, 32), 32))
+	// Site 1 down during the Put: it never hears about the object.
+	w.LoseSite(1)
+	data := testPayload(700, 9)
+	if err := f.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	w.RestoreSite(1)
+	if _, err := sites[1].store.Stat("obj"); !errors.Is(err, archive.ErrNotFound) {
+		t.Fatal("site 1 should not know the object yet")
+	}
+	rep, err := f.RepairSite(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ShellsSynced != 1 {
+		t.Errorf("shells synced = %d, want 1", rep.ShellsSynced)
+	}
+	if rep.MissingAfter != 0 {
+		t.Errorf("missing after = %d", rep.MissingAfter)
+	}
+	got, _, err := sites[1].store.Get("obj")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Errorf("restored site get: err=%v exact=%v", err, bytes.Equal(got, data))
+	}
+}
+
+func TestScrubSkipsDownSites(t *testing.T) {
+	w := chaos.NewWAN(chaos.WANConfig{Sites: 2})
+	f, _ := fedOver(t, Config{WAN: w, WriteQuorum: 1},
+		newSiteWithGraph(t, tornadoGraph(t, 41), 32),
+		newSiteWithGraph(t, tornadoGraph(t, 42), 32))
+	if err := f.Put("obj", testPayload(300, 3)); err != nil {
+		t.Fatal(err)
+	}
+	w.LoseSite(1)
+	reps, err := f.Scrub(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reps[0].Skipped || !reps[1].Skipped {
+		t.Errorf("scrub skip flags: %v %v, want false true", reps[0].Skipped, reps[1].Skipped)
+	}
+	if _, err := f.RepairSite(1); !errors.Is(err, ErrSiteDown) {
+		t.Errorf("repair of down site err = %v, want ErrSiteDown", err)
+	}
+}
+
+func TestDeleteAcrossSites(t *testing.T) {
+	f, sites := fedOver(t, Config{},
+		newSiteWithGraph(t, tornadoGraph(t, 51), 32),
+		newSiteWithGraph(t, tornadoGraph(t, 52), 32))
+	if err := f.Put("obj", testPayload(100, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Delete("obj"); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sites {
+		if _, err := s.store.Stat("obj"); !errors.Is(err, archive.ErrNotFound) {
+			t.Errorf("site %d still has deleted object", i)
+		}
+	}
+	if err := f.Delete("obj"); !errors.Is(err, archive.ErrNotFound) {
+		t.Errorf("double delete err = %v, want ErrNotFound", err)
+	}
+}

@@ -1,0 +1,329 @@
+package fedstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"tornado/internal/archive"
+	"tornado/internal/repairbw"
+)
+
+// exchangeGet recovers a whole object by joint cross-site block exchange —
+// the read path of last resort, entered only after every reachable site
+// individually failed to serve the object.
+func (f *Store) exchangeGet(ctx context.Context, name string) ([]byte, error) {
+	var obj archive.Object
+	found := false
+	for _, i := range f.upSites() {
+		if o, err := f.sites[i].Stat(name); err == nil {
+			obj = o
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: %q", archive.ErrNotFound, name)
+	}
+	capacity := f.layout.DataNodes * f.layout.BlockSize
+	out := make([]byte, 0, obj.Size)
+	for st := 0; st < obj.Stripes; st++ {
+		payloadLen := obj.Size - st*capacity
+		if payloadLen > capacity {
+			payloadLen = capacity
+		}
+		if payloadLen < 0 {
+			payloadLen = 0
+		}
+		winner, blocks, err := f.recoverStripe(ctx, name, st)
+		if err != nil {
+			return nil, err
+		}
+		chunk, err := f.codecs[winner].Decode(blocks, payloadLen)
+		if err != nil {
+			return nil, fmt.Errorf("fedstore: decode %q stripe %d: %w", name, st, err)
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+// recoverStripe is the live version of federation.JointDecode: fetch what
+// every reachable site still holds of one stripe, let each site's codec
+// peel as far as it can, ship recovered data blocks between link-connected
+// sites, and repeat to fixpoint. On success the reconstructed data blocks
+// are re-exported to every participating site that was missing them (the
+// cross-site repair write-back), and it returns the index of the site
+// whose codec completed plus that site's block array (all data blocks
+// filled). Every byte moved goes through ReadBlockCtx/WriteBlockCtx, so
+// the sites bill it to the federation cause; the facade keeps its own
+// tally in the fedstore.exchange.* counters for the conservation check.
+func (f *Store) recoverStripe(ctx context.Context, name string, stripe int) (int, [][]byte, error) {
+	// Participants: reachable sites that know the object.
+	var live []int
+	for _, i := range f.upSites() {
+		if _, err := f.sites[i].Stat(name); err == nil {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
+		return 0, nil, fmt.Errorf("%w: %q", ErrNoSite, name)
+	}
+
+	frameBytes := int64(f.sites[live[0]].FrameSize())
+	perSite := make(map[int][][]byte, len(live))
+	fetched := make(map[int][]bool, len(live))
+	for _, i := range live {
+		total := f.sites[i].Graph().Total
+		blocks := make([][]byte, total)
+		have := make([]bool, total)
+		for node := 0; node < total; node++ {
+			if err := ctx.Err(); err != nil {
+				return 0, nil, err
+			}
+			b, err := f.sites[i].ReadBlockCtx(ctx, name, stripe, node)
+			if err != nil {
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					return 0, nil, err
+				}
+				continue // missing or corrupt: a hole for the peel to fill
+			}
+			blocks[node] = b
+			have[node] = true
+			f.cExBlkRead.Inc()
+			f.cExByRead.Add(frameBytes)
+		}
+		perSite[i] = blocks
+		fetched[i] = have
+	}
+
+	data := f.layout.DataNodes
+	winner := -1
+	for winner < 0 {
+		// Let every site peel as far as it can (Repair reconstructs blocks
+		// in place even when it ultimately fails).
+		for _, i := range live {
+			if err := f.codecs[i].Repair(perSite[i]); err == nil {
+				winner = i
+				break
+			}
+		}
+		if winner >= 0 {
+			break
+		}
+		// Exchange: ship any data block one site holds to every
+		// link-connected site missing it.
+		progress := false
+		for v := 0; v < data; v++ {
+			for _, b := range live {
+				if perSite[b][v] != nil {
+					continue
+				}
+				for _, a := range live {
+					if a == b || perSite[a][v] == nil {
+						continue
+					}
+					if !f.linkUp(a, b) {
+						continue
+					}
+					if err := f.linkStall(ctx, a, b); err != nil {
+						return 0, nil, err
+					}
+					perSite[b][v] = perSite[a][v]
+					progress = true
+					break
+				}
+			}
+		}
+		if !progress {
+			return 0, nil, fmt.Errorf("%w: %q stripe %d lost at all %d reachable sites even with block exchange",
+				archive.ErrDataLoss, name, stripe, len(live))
+		}
+	}
+	f.cExStripes.Inc()
+
+	// Cross-site repair write-back: re-export reconstructed data blocks to
+	// every participating site that was missing them on disk. Check blocks
+	// are site-specific and are rebuilt by each site's own repair scrub
+	// once its data is whole.
+	for _, j := range live {
+		if j != winner && !f.linkUp(winner, j) {
+			continue
+		}
+		for v := 0; v < data; v++ {
+			if fetched[j][v] || perSite[winner][v] == nil {
+				continue
+			}
+			if err := f.linkStall(ctx, winner, j); err != nil {
+				return 0, nil, err
+			}
+			if err := f.sites[j].WriteBlockCtx(ctx, name, stripe, v, perSite[winner][v]); err != nil {
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					return 0, nil, err
+				}
+				continue // site degraded mid-repair; a later RepairSite retries
+			}
+			f.cExBlkWrit.Inc()
+			f.cExByWrit.Add(frameBytes)
+		}
+	}
+	return winner, perSite[winner], nil
+}
+
+// RepairReport is the outcome of one RepairSite run.
+type RepairReport struct {
+	Site int
+	// ShellsSynced counts object shells copied from donor metadata — the
+	// objects the site missed entirely (down during Put, or device-wiped
+	// with the steward database surviving).
+	ShellsSynced int
+	// LocalRepairs counts blocks the site's own repair scrub rebuilt from
+	// its surviving blocks, before any cross-site traffic.
+	LocalRepairs int
+	// DirectImports counts data blocks copied straight from a donor
+	// site's intact replica.
+	DirectImports int
+	// ExchangedStripes counts stripes that needed full joint exchange
+	// because no single donor held the missing blocks.
+	ExchangedStripes int
+	// Exchange is the facade-tallied cross-site traffic of this repair.
+	Exchange repairbw.CostReport
+	// MissingAfter and Unrecoverable are the site's post-repair scrub
+	// residue; both must be zero after a successful disaster recovery.
+	MissingAfter  int
+	Unrecoverable int
+}
+
+// RepairSite restores a site after a disaster: sync object shells from
+// donor sites, let the site repair what it can locally, import still-
+// missing data blocks from donor replicas (falling back to joint exchange
+// when no single donor has them), and rebuild site-local check blocks with
+// a final repair scrub. Every imported byte flows through the archive
+// block interface and is billed to the federation repair cause.
+func (f *Store) RepairSite(target int) (RepairReport, error) {
+	return f.RepairSiteCtx(context.Background(), target)
+}
+
+// RepairSiteCtx is RepairSite with cancellation.
+func (f *Store) RepairSiteCtx(ctx context.Context, target int) (RepairReport, error) {
+	rep := RepairReport{Site: target}
+	if target < 0 || target >= len(f.sites) {
+		return rep, fmt.Errorf("fedstore: site %d out of range [0,%d)", target, len(f.sites))
+	}
+	if !f.SiteUp(target) {
+		return rep, fmt.Errorf("%w: site %d", ErrSiteDown, target)
+	}
+	f.cRepairs.Inc()
+	before := f.ExchangeTotals()
+	ts := f.sites[target]
+
+	// Donors: reachable sites with a working link to the target.
+	var donors []int
+	for _, i := range f.upSites() {
+		if i != target && f.linkUp(i, target) {
+			donors = append(donors, i)
+		}
+	}
+
+	// Phase 1 — shell sync: recover metadata for objects the target never
+	// saw. List is name-sorted at every site, so this is deterministic.
+	for _, d := range donors {
+		for _, obj := range f.sites[d].List() {
+			if _, err := ts.Stat(obj.Name); err == nil {
+				continue
+			}
+			if err := ts.PutShell(obj.Name, obj.Size, obj.Stripes); err != nil {
+				return rep, fmt.Errorf("fedstore: shell %q at site %d: %w", obj.Name, target, err)
+			}
+			rep.ShellsSynced++
+		}
+	}
+
+	// Phase 2 — local repair: everything the site can rebuild from its own
+	// surviving blocks costs no WAN traffic.
+	local, err := ts.ScrubCtx(ctx, true)
+	if err != nil {
+		return rep, fmt.Errorf("fedstore: local repair scrub at site %d: %w", target, err)
+	}
+	rep.LocalRepairs = local.BlocksRepaired
+
+	// Phase 3 — import: probe what is still missing and pull data blocks
+	// from donors; stripes no single donor can serve go through the full
+	// joint exchange (whose write-back heals the target as a participant).
+	probe, err := ts.ScrubCtx(ctx, false)
+	if err != nil {
+		return rep, fmt.Errorf("fedstore: probe scrub at site %d: %w", target, err)
+	}
+	data := f.layout.DataNodes
+	for _, h := range probe.Stripes {
+		needExchange := false
+		for _, v := range h.Missing {
+			if v >= data {
+				continue // site-local check block; phase 4 rebuilds it
+			}
+			imported := false
+			for _, d := range donors {
+				if err := ctx.Err(); err != nil {
+					return rep, err
+				}
+				b, err := f.sites[d].ReadBlockCtx(ctx, h.Object, h.Stripe, v)
+				if err != nil {
+					if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+						return rep, err
+					}
+					continue
+				}
+				f.cExBlkRead.Inc()
+				f.cExByRead.Add(int64(f.sites[d].FrameSize()))
+				if err := f.linkStall(ctx, d, target); err != nil {
+					return rep, err
+				}
+				if err := ts.WriteBlockCtx(ctx, h.Object, h.Stripe, v, b); err != nil {
+					return rep, fmt.Errorf("fedstore: import %q stripe %d block %d to site %d: %w",
+						h.Object, h.Stripe, v, target, err)
+				}
+				f.cExBlkWrit.Inc()
+				f.cExByWrit.Add(int64(ts.FrameSize()))
+				rep.DirectImports++
+				imported = true
+				break
+			}
+			if !imported {
+				needExchange = true
+			}
+		}
+		if needExchange {
+			if _, _, err := f.recoverStripe(ctx, h.Object, h.Stripe); err != nil {
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					return rep, err
+				}
+				continue // truly lost; the final scrub counts it
+			}
+			rep.ExchangedStripes++
+		}
+	}
+
+	// Phase 4 — rebuild site-local check blocks from the now-complete data,
+	// then measure the residue.
+	if _, err := ts.ScrubCtx(ctx, true); err != nil {
+		return rep, fmt.Errorf("fedstore: rebuild scrub at site %d: %w", target, err)
+	}
+	final, err := ts.ScrubCtx(ctx, false)
+	if err != nil {
+		return rep, fmt.Errorf("fedstore: final scrub at site %d: %w", target, err)
+	}
+	for _, h := range final.Stripes {
+		rep.MissingAfter += len(h.Missing)
+		if !h.Recoverable {
+			rep.Unrecoverable++
+		}
+	}
+	after := f.ExchangeTotals()
+	rep.Exchange = repairbw.CostReport{
+		BlocksRead:    after.BlocksRead - before.BlocksRead,
+		BlocksWritten: after.BlocksWritten - before.BlocksWritten,
+		BytesRead:     after.BytesRead - before.BytesRead,
+		BytesWritten:  after.BytesWritten - before.BytesWritten,
+	}
+	return rep, nil
+}

@@ -1,0 +1,68 @@
+package fedstore
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDisasterSoakConverges(t *testing.T) {
+	rep, err := Soak(SoakConfig{Seed: 1})
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	if err := rep.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Puts == 0 || rep.Gets == 0 {
+		t.Errorf("degenerate storm: %d puts, %d gets", rep.Puts, rep.Gets)
+	}
+	// A full site wipe must have moved real bytes to the victim.
+	if rep.Repair.Exchange.BytesWritten == 0 {
+		t.Error("victim repair wrote zero bytes")
+	}
+	if rep.WANInjected["site_loss"] == 0 {
+		t.Error("no site loss recorded — the disaster never happened")
+	}
+	if rep.VerifiedReads == 0 {
+		t.Error("nothing verified post-restore")
+	}
+}
+
+func TestDisasterSoakDeterministic(t *testing.T) {
+	a, err := Soak(SoakConfig{Seed: 42, Ops: 120, Objects: 4})
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	b, err := Soak(SoakConfig{Seed: 42, Ops: 120, Objects: 4})
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Errorf("same seed, different fingerprints: %.12s vs %.12s", a.Fingerprint, b.Fingerprint)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed, different reports:\n%+v\n%+v", a, b)
+	}
+	c, err := Soak(SoakConfig{Seed: 43, Ops: 120, Objects: 4})
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	if c.Fingerprint == a.Fingerprint {
+		t.Error("different seeds produced identical fingerprints")
+	}
+}
+
+func TestDisasterSoakSeedSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep in short mode")
+	}
+	for seed := uint64(2); seed <= 4; seed++ {
+		rep, err := Soak(SoakConfig{Seed: seed, Ops: 160, Objects: 4})
+		if err != nil {
+			t.Fatalf("seed %d harness: %v", seed, err)
+		}
+		if err := rep.Check(); err != nil {
+			t.Error(err)
+		}
+	}
+}

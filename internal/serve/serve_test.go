@@ -300,6 +300,51 @@ func TestHedgingMasksDegradedReplica(t *testing.T) {
 	}
 }
 
+// TestHedgingMasksChaosSlowNode: replica 0 is slow rather than wedged —
+// every node stalls via the chaos injector's latency fault — and the hedge
+// still wins within the fast replica's latency, not the slow one's.
+func TestHedgingMasksChaosSlowNode(t *testing.T) {
+	g := testGraph(t)
+	inj := chaos.Wrap(archive.NewArrayBackend(device.NewArray(g.Total)), chaos.Config{Seed: 3})
+	s0, err := archive.NewWithBackend(g, inj, archive.Config{BlockSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := archive.New(g, device.NewArray(g.Total), archive.Config{BlockSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New([]*archive.Store{s0, s1}, Config{HedgeDelay: time.Millisecond, CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	data := testPayload(2*s0.Layout().StripeCapacity, 6)
+	if _, err := svc.Put(ctx, "t", "obj", bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	// Slow every node after the Put so only reads stall. A non-hedged read
+	// of the slow replica would pay the stall once per block — seconds —
+	// while the hedge should answer within the healthy replica's time.
+	for node := 0; node < g.Total; node++ {
+		inj.SlowNode(node, 2*time.Second)
+	}
+	start := time.Now()
+	var buf bytes.Buffer
+	if _, err := svc.Get(ctx, "t", "obj", &buf); err != nil {
+		t.Fatalf("hedged Get over slow replica: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Fatal("hedged Get returned wrong bytes")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("hedged Get took %v — the slow replica's stall leaked into the request", d)
+	}
+	if svc.metrics.Counter("serve.hedge.launched").Value() == 0 {
+		t.Error("no hedges launched against the slow replica")
+	}
+}
+
 // TestCacheCoherence: a stripe cached before damage is healed by
 // read-repair stays bit-exact, and a delete + re-put under the same name
 // invalidates — the cache never serves the old object's bytes.

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -425,5 +427,99 @@ func TestReplicatorGetReportsOutageNotNotFound(t *testing.T) {
 	// And a steward pass against a fully dark federation errors.
 	if _, err := r.StewardPass(context.Background()); !IsUnavailable(err) {
 		t.Errorf("dark steward pass: %v, want ErrUnavailable", err)
+	}
+}
+
+// TestStewardFullSiteOutageLifecycle walks one site through the whole
+// disaster arc end to end over real HTTP: healthy probe → hard outage →
+// degraded pass and degraded writes → the site returns at the same
+// address → the next pass readmits it and re-replicates what it missed —
+// with the steward.site.N.healthy gauges tracking every transition.
+func TestStewardFullSiteOutageLifecycle(t *testing.T) {
+	sites, r := threeSiteFederation(t)
+	objA := randPayload(420, 90)
+	if err := r.Put("alpha", objA); err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy baseline: the site answers its own /healthz and a pass
+	// records every health gauge at 1.
+	resp, err := sites[2].httpSrv.Client().Get(sites[2].httpSrv.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy /healthz probe: err=%v resp=%+v", err, resp)
+	}
+	resp.Body.Close()
+	if _, err := r.StewardPass(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("steward.site.%d.healthy", i)
+		if v := r.Metrics().Snapshot().Gauges[name]; v != 1 {
+			t.Fatalf("baseline %s = %d, want 1", name, v)
+		}
+	}
+
+	// Full site outage: the server goes hard down. The pass degrades —
+	// skip, don't fail — and flips the gauge.
+	addr := sites[2].httpSrv.Listener.Addr().String()
+	sites[2].httpSrv.CloseClientConnections()
+	sites[2].httpSrv.Close()
+	rep, err := r.StewardPass(context.Background())
+	if err != nil {
+		t.Fatalf("pass during outage: %v", err)
+	}
+	if len(rep.SkippedSites) != 1 || rep.SkippedSites[0] != 2 {
+		t.Errorf("SkippedSites = %v, want [2]", rep.SkippedSites)
+	}
+	snap := r.Metrics().Snapshot()
+	if v := snap.Gauges["steward.site.2.healthy"]; v != 0 {
+		t.Errorf("outage gauge = %d, want 0", v)
+	}
+	if snap.Counters["steward.site_down_detected"] < 1 {
+		t.Error("outage not counted in steward.site_down_detected")
+	}
+
+	// Writes keep flowing to the survivors while the site is dark.
+	objB := randPayload(640, 91)
+	if err := r.Put("beta", objB); err != nil {
+		t.Fatalf("degraded put: %v", err)
+	}
+
+	// The site returns at the same address with its store intact.
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("re-listen on %s: %v", addr, err)
+	}
+	revived := &httptest.Server{Listener: l, Config: &http.Server{Handler: sites[2].srv}}
+	revived.Start()
+	t.Cleanup(revived.Close)
+
+	// Recovery pass: probe readmits the site, flips the gauge back, and
+	// re-replicates the object it missed during the outage.
+	rep2, err := r.StewardPass(context.Background())
+	if err != nil {
+		t.Fatalf("recovery pass: %v", err)
+	}
+	if len(rep2.ReadmittedSites) != 1 || rep2.ReadmittedSites[0] != 2 {
+		t.Errorf("ReadmittedSites = %v, want [2]", rep2.ReadmittedSites)
+	}
+	if rep2.ObjectsRestored != 1 {
+		t.Errorf("ObjectsRestored = %d, want 1 (beta back to site 2)", rep2.ObjectsRestored)
+	}
+	snap = r.Metrics().Snapshot()
+	if v := snap.Gauges["steward.site.2.healthy"]; v != 1 {
+		t.Errorf("recovered gauge = %d, want 1", v)
+	}
+	if snap.Counters["steward.site_readmitted"] < 1 {
+		t.Error("readmission not counted")
+	}
+
+	// The recovery is real: the returned site serves the outage-era object
+	// alone, bit-exact, and the old object is still intact everywhere.
+	if got, err := sites[2].client.Get("beta"); err != nil || !bytes.Equal(got, objB) {
+		t.Fatalf("revived site beta: err=%v exact=%v", err, bytes.Equal(got, objB))
+	}
+	if got, err := r.Get("alpha"); err != nil || !bytes.Equal(got, objA) {
+		t.Fatalf("alpha after lifecycle: err=%v", err)
 	}
 }

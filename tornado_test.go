@@ -273,3 +273,66 @@ func TestClearCardinalityPublic(t *testing.T) {
 	}
 	t.Logf("clear k=3: %+v", rep)
 }
+
+func TestPublicFederatedStore(t *testing.T) {
+	sites := make([]*tornado.Archive, 3)
+	devices := make([]tornado.DeviceArray, 3)
+	for i := range sites {
+		g, _, err := tornado.Generate(tornado.DefaultParams(), uint64(30+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		devices[i] = tornado.NewDevices(g.Total)
+		sites[i], err = tornado.NewArchive(g, devices[i], tornado.ArchiveConfig{BlockSize: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	wan := tornado.NewWAN(tornado.WANConfig{Sites: 3, Seed: 9})
+	f, err := tornado.NewFederatedStore(sites, tornado.FederatedConfig{WriteQuorum: 2, WAN: wan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0x5A, 0xC3}, 700)
+	if err := f.Put("doc", data); err != nil {
+		t.Fatal(err)
+	}
+
+	// Failover: reads survive losing one site outright.
+	wan.LoseSite(1)
+	got, err := f.Get("doc")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("get with site 1 down: %v", err)
+	}
+	wan.RestoreSite(1)
+
+	// Disaster: wipe every device at site 0 and repair it from its peers.
+	for id := range devices[0] {
+		devices[0][id].Fail()
+		devices[0][id].Replace()
+	}
+	rep, err := f.RepairSite(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MissingAfter != 0 || rep.Unrecoverable != 0 {
+		t.Errorf("residue after site repair: %+v", rep)
+	}
+	if rep.Exchange.BytesWritten == 0 {
+		t.Error("site repair moved zero bytes")
+	}
+	got, _, err = sites[0].Get("doc")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("victim site read after repair: %v", err)
+	}
+}
+
+func TestPublicDisasterSoak(t *testing.T) {
+	rep, err := tornado.RunDisasterSoak(tornado.DisasterSoakConfig{Seed: 11, Ops: 80, Objects: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
