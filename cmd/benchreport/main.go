@@ -3,11 +3,15 @@
 // allocs/op for the legacy full-reset Decoder scan (the "before"), the CSR
 // kernel's one-shot path, and the incremental revolving-door kernel scan
 // that sim.ScanRangeCtx now runs (the "after"), plus the end-to-end
-// ScanRangeCtx throughput. Three before/after ratios are reported:
-// scan_speedup (the end-to-end exhaustive-scan workload),
-// kernel_scan_speedup (the per-pattern inner loop alone), and
+// ScanRangeCtx throughput and the bit-sliced 64-lane scan
+// (sliced_scan_range, sliced_eval_word). Five before/after ratios are
+// reported: scan_speedup (the end-to-end exhaustive-scan workload),
+// kernel_scan_speedup (the per-pattern inner loop alone),
 // recoverable_k5_speedup (one k=5 recoverability query, one-shot Decoder
-// versus the kernel in scan order).
+// versus the kernel in scan order), sliced_scan_speedup (pre-kernel
+// Decoder scan versus the sliced scan, gated >= 8x in -check), and
+// sliced_vs_scalar_scan (scalar kernel scan versus the sliced scan,
+// gated >= 2.5x in -check).
 //
 // It also measures the closed-set defect scan (DESIGN.md "Defect kernels")
 // and writes BENCH_defect.json: the map-per-subset ReferenceScan (the
@@ -82,6 +86,15 @@ type report struct {
 	// answered by the incremental kernel in scan order, where the erasure
 	// set is reached by a one-swap delta instead of built from scratch.
 	RecoverableK5Speedup float64 `json:"recoverable_k5_speedup"`
+	// SlicedScanSpeedup is decoder_scan_range / sliced_scan_range — the
+	// end-to-end exhaustive scan before/after with the bit-sliced 64-lane
+	// kernel and certificate pruning standing in for the scalar kernel.
+	// CI gates this at >= 8x.
+	SlicedScanSpeedup float64 `json:"sliced_scan_speedup"`
+	// SlicedVsScalarScan is sim_scan_range / sliced_scan_range — the
+	// sliced kernel against the already-optimized incremental scalar
+	// kernel scan, both end to end. CI gates this at >= 2.5x.
+	SlicedVsScalarScan float64 `json:"sliced_vs_scalar_scan"`
 }
 
 // defectScanMaxSize is the scan depth of the defect benchmarks — one past
@@ -156,6 +169,8 @@ func main() {
 		run("kernel_gray_scan", 1, true, func(b *testing.B) { benchKernelGrayScan(b, g) }),
 		run("decoder_scan_range", scanRangePatterns, false, func(b *testing.B) { benchDecoderScanRange(b, g) }),
 		run("sim_scan_range", scanRangePatterns, false, func(b *testing.B) { benchScanRange(b, g) }),
+		run("sliced_scan_range", scanRangePatterns, false, func(b *testing.B) { benchSlicedScanRange(b, g) }),
+		run("sliced_eval_word", decode.Lanes, true, func(b *testing.B) { benchSlicedEvalWord(b, g) }),
 	)
 
 	ns := map[string]float64{}
@@ -165,9 +180,13 @@ func main() {
 	rep.ScanSpeedup = ns["decoder_scan_range"] / ns["sim_scan_range"]
 	rep.KernelScanSpeedup = ns["decoder_lex_scan"] / ns["kernel_gray_scan"]
 	rep.RecoverableK5Speedup = ns["decoder_oneshot_k5"] / ns["kernel_gray_scan"]
+	rep.SlicedScanSpeedup = ns["decoder_scan_range"] / ns["sliced_scan_range"]
+	rep.SlicedVsScalarScan = ns["sim_scan_range"] / ns["sliced_scan_range"]
 	fmt.Printf("scan speedup:           %6.2fx (pre-kernel scan range / sim.ScanRangeCtx, end to end)\n", rep.ScanSpeedup)
 	fmt.Printf("kernel scan speedup:    %6.2fx (lex Decoder loop / revolving-door kernel loop)\n", rep.KernelScanSpeedup)
 	fmt.Printf("RecoverableK5 speedup:  %6.2fx (one-shot Decoder query / kernel query in scan order)\n", rep.RecoverableK5Speedup)
+	fmt.Printf("sliced scan speedup:    %6.2fx (pre-kernel scan range / sliced 64-lane scan, end to end)\n", rep.SlicedScanSpeedup)
+	fmt.Printf("sliced vs scalar scan:  %6.2fx (scalar kernel scan range / sliced 64-lane scan)\n", rep.SlicedVsScalarScan)
 
 	writeJSON(*out, rep)
 
@@ -240,6 +259,21 @@ func main() {
 					r.Name, r.AllocsPerOp)
 				failed = true
 			}
+		}
+		// Sliced-kernel throughput gates: the 64-lane scan must beat the
+		// pre-kernel Decoder scan by >= 8x end to end and the incremental
+		// scalar kernel scan by >= 2.5x. Generous margins below the
+		// measured ~17x / ~3.5x keep the gate a regression tripwire, not a
+		// machine-speed lottery.
+		if rep.SlicedScanSpeedup < 8 {
+			fmt.Fprintf(os.Stderr, "benchreport: sliced scan is %.2fx the pre-kernel Decoder scan, below the 8x floor\n",
+				rep.SlicedScanSpeedup)
+			failed = true
+		}
+		if rep.SlicedVsScalarScan < 2.5 {
+			fmt.Fprintf(os.Stderr, "benchreport: sliced scan is %.2fx the scalar kernel scan, below the 2.5x floor\n",
+				rep.SlicedVsScalarScan)
+			failed = true
 		}
 		if srep.Corrupted != 0 {
 			fmt.Fprintf(os.Stderr, "benchreport: serve load returned %d silently corrupt payloads; the archive invariant is bit-exact-or-error\n",
@@ -463,6 +497,46 @@ func benchScanRange(b *testing.B, g *graph.Graph) {
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.ScanRangeCtx(ctx, g, scanK, lo, lo+scanRangePatterns, 16); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// benchSlicedScanRange measures the bit-sliced scan end to end —
+// revolving-door run decomposition, incremental suffix certificate,
+// 64-lane batched evaluation of unresolved lanes — over the same
+// mid-space rank window benchScanRange measures.
+func benchSlicedScanRange(b *testing.B, g *graph.Graph) {
+	ctx := context.Background()
+	lo := midRank(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.ScanRangeKernelCtx(ctx, g, scanK, lo, lo+scanRangePatterns, 16, sim.KernelSliced); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSlicedEvalWord is the steady-state sliced fixpoint the -check
+// alloc gate guards: one word of 64 distinct k=5 patterns (a shared
+// 4-node suffix plus a sweeping smallest element — the scan's actual
+// word shape) per op.
+func benchSlicedEvalWord(b *testing.B, g *graph.Graph) {
+	sk := decode.NewSlicedKernel(decode.NewCSR(g))
+	suffix := []int{70, 75, 80, 85}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Reset()
+		sk.SetActive(^uint64(0))
+		for _, v := range suffix {
+			sk.Erase(v, ^uint64(0))
+		}
+		for lane := 0; lane < decode.Lanes; lane++ {
+			sk.Erase(lane, 1<<uint(lane))
+		}
+		if sk.Eval() == 0 {
+			b.Fatal("benchmark word unexpectedly unrecoverable in every lane")
 		}
 	}
 }

@@ -35,6 +35,24 @@ func CacheKey(g *graph.Graph, spec Spec) string {
 // making merged Failures independent of shard layout.
 const scanOrderVersion = "rd2"
 
+// scanOrderVersionSliced tags entries computed by the bit-sliced kernel
+// (Spec.Kernel "sliced"). The sliced scan walks the same revolving-door
+// rank order and records identical results, but versioning it separately
+// keeps the kernels' cache populations disjoint: a bug in either kernel
+// can be flushed by bumping one tag without invalidating the other's
+// entries, and a shard computed under one implementation is never
+// attributed to the other.
+const scanOrderVersionSliced = "sl1"
+
+// orderVersion returns the scan-order tag a normalized spec's cache
+// entries are hashed under.
+func orderVersion(normSpec Spec) string {
+	if normSpec.Kernel == "sliced" {
+		return scanOrderVersionSliced
+	}
+	return scanOrderVersion
+}
+
 func cacheKey(fingerprint string, normSpec Spec) string {
 	data, err := json.Marshal(normSpec)
 	if err != nil {
@@ -44,7 +62,7 @@ func cacheKey(fingerprint string, normSpec Spec) string {
 	h := sha256.New()
 	h.Write([]byte(fingerprint))
 	h.Write([]byte{'\n'})
-	h.Write([]byte(scanOrderVersion))
+	h.Write([]byte(orderVersion(normSpec)))
 	h.Write([]byte{'\n'})
 	h.Write(data)
 	return hex.EncodeToString(h.Sum(nil))

@@ -71,6 +71,14 @@ type Spec struct {
 	MaxFailures int  `json:"max_failures,omitempty"`
 	KeepGoing   bool `json:"keep_going,omitempty"`
 
+	// Kernel selects the scan evaluation kernel (KindWorstCase):
+	// "" or "scalar" for the revolving-door scalar kernel, "sliced" for
+	// the bit-sliced 64-lane kernel. Both produce bit-identical results;
+	// the kernel still participates in the cache key through the scan
+	// order version so shards computed under one kernel are never
+	// replayed into the other's campaigns.
+	Kernel string `json:"kernel,omitempty"`
+
 	// Monte Carlo profile fields (KindProfile).
 	Trials          int64  `json:"trials,omitempty"`
 	ExhaustiveLimit int64  `json:"exhaustive_limit,omitempty"`
@@ -98,6 +106,9 @@ func (s Spec) normalize(total int) Spec {
 		if s.MaxFailures <= 0 {
 			s.MaxFailures = sim.DefaultMaxFailures
 		}
+		if s.Kernel == string(sim.KernelScalar) || s.Kernel == "scalar" {
+			s.Kernel = ""
+		}
 		s.Trials, s.ExhaustiveLimit, s.MinK, s.Seed = 0, 0, 0, 0
 	case KindProfile:
 		if s.Trials <= 0 {
@@ -113,6 +124,7 @@ func (s Spec) normalize(total int) Spec {
 			s.MaxK = total
 		}
 		s.MaxFailures, s.KeepGoing = 0, false
+		s.Kernel = ""
 	}
 	return s
 }
@@ -120,10 +132,13 @@ func (s Spec) normalize(total int) Spec {
 func (s Spec) validate() error {
 	switch s.Kind {
 	case KindWorstCase, KindProfile:
-		return nil
 	default:
 		return fmt.Errorf("campaign: unknown kind %q (want %q or %q)", s.Kind, KindWorstCase, KindProfile)
 	}
+	if err := sim.ScanKernel(s.Kernel).Validate(); err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	return nil
 }
 
 // Options tunes campaign execution. Unlike Spec, nothing here affects the
@@ -532,7 +547,7 @@ func (r *runner) runShard(ctx context.Context, s shard) (Record, error) {
 		}
 		return Record{Shard: s.ID, K: s.K, Trials: prop.Trials, Hits: prop.Hits}, nil
 	}
-	rr, err := sim.ScanRangeCtx(ctx, r.g, s.K, s.Lo, s.Hi, s.MaxFailures)
+	rr, err := sim.ScanRangeKernelCtx(ctx, r.g, s.K, s.Lo, s.Hi, s.MaxFailures, sim.ScanKernel(r.spec.Kernel))
 	if err != nil {
 		return Record{}, err
 	}

@@ -363,3 +363,130 @@ func TestProgressMetrics(t *testing.T) {
 		t.Errorf("ETA nonzero after completion: %d", reg.Gauge(MetricETASeconds).Value())
 	}
 }
+
+// TestSlicedCampaignMatchesScalar runs the same worst-case spec under both
+// kernels and requires identical WorstCase payloads: the sliced scan is a
+// drop-in evaluation strategy, not a different experiment.
+func TestSlicedCampaignMatchesScalar(t *testing.T) {
+	g := testGraph(t)
+	base := Spec{Kind: KindWorstCase, MaxK: 3, MaxFailures: 64, KeepGoing: true, ShardSize: 128}
+	scalar, err := Run(t.TempDir(), g, base, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sliced := base
+	sliced.Kernel = "sliced"
+	got, err := Run(t.TempDir(), g, sliced, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.WorstCase, scalar.WorstCase) {
+		t.Errorf("sliced campaign diverges from scalar:\n got %+v\nwant %+v", got.WorstCase, scalar.WorstCase)
+	}
+}
+
+// TestSlicedCrashResumeBitIdentical kills a sliced-kernel campaign mid-run
+// and resumes it; the result must match an uninterrupted sliced run byte
+// for byte, proving shard journaling and the content-addressed cache work
+// unchanged under the sliced scan order version.
+func TestSlicedCrashResumeBitIdentical(t *testing.T) {
+	g := testGraph(t)
+	spec := Spec{Kind: KindWorstCase, MaxK: 3, MaxFailures: 64, KeepGoing: true, ShardSize: 128, Kernel: "sliced"}
+
+	uninterrupted, err := Run(t.TempDir(), g, spec, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err = RunCtx(ctx, dir, g, spec, Options{
+		Workers: 2,
+		Progress: func(st Status) {
+			if st.DoneShards >= 3 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run returned %v, want context.Canceled", err)
+	}
+
+	resumed, err := Resume(dir, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := marshal(t, resumed), marshal(t, uninterrupted); string(got) != string(want) {
+		t.Errorf("resumed sliced result not bit-identical:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestKernelCacheKeySeparation pins the cache-identity rules around
+// Spec.Kernel: "scalar" normalizes into the zero kernel (same key, same
+// cache population as every pre-kernel-field campaign), while "sliced"
+// hashes under its own scan order version and can never collide with
+// scalar entries.
+func TestKernelCacheKeySeparation(t *testing.T) {
+	g := testGraph(t)
+	base := Spec{Kind: KindWorstCase, MaxK: 3}
+
+	alias := base
+	alias.Kernel = "scalar"
+	if CacheKey(g, base) != CacheKey(g, alias) {
+		t.Error(`Kernel "scalar" must share the default kernel's cache key`)
+	}
+
+	sliced := base
+	sliced.Kernel = "sliced"
+	if CacheKey(g, base) == CacheKey(g, sliced) {
+		t.Error("sliced campaigns must not share scalar cache entries")
+	}
+	if orderVersion(base.normalize(g.Total)) != scanOrderVersion {
+		t.Errorf("scalar order version = %q", orderVersion(base.normalize(g.Total)))
+	}
+	if orderVersion(sliced.normalize(g.Total)) != scanOrderVersionSliced {
+		t.Errorf("sliced order version = %q", orderVersion(sliced.normalize(g.Total)))
+	}
+
+	// A cached scalar result must be served back to the scalar spec and
+	// missed by the sliced spec even with an otherwise identical workload.
+	dir := t.TempDir()
+	cache := filepath.Join(dir, "cache")
+	first, err := Run(filepath.Join(dir, "a"), g, base, Options{Workers: 2, CacheDir: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first run reported cached")
+	}
+	hit, err := Run(filepath.Join(dir, "b"), g, alias, Options{Workers: 2, CacheDir: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached {
+		t.Error(`"scalar" alias missed the cache`)
+	}
+	miss, err := Run(filepath.Join(dir, "c"), g, sliced, Options{Workers: 2, CacheDir: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss.Cached {
+		t.Error("sliced run was served a scalar cache entry")
+	}
+}
+
+// TestSpecKernelValidation rejects unknown kernels before any work runs.
+func TestSpecKernelValidation(t *testing.T) {
+	g := testGraph(t)
+	spec := Spec{Kind: KindWorstCase, MaxK: 2, Kernel: "simd"}
+	if _, err := Run(t.TempDir(), g, spec, Options{}); err == nil {
+		t.Fatal(`Kernel "simd" accepted`)
+	}
+	// Profile campaigns zero the kernel field: it selects a scan kernel
+	// and scans only happen under KindWorstCase.
+	prof := Spec{Kind: KindProfile, MaxK: 3, Trials: 100, Kernel: "sliced"}
+	if prof.normalize(g.Total).Kernel != "" {
+		t.Error("profile spec kept a scan kernel")
+	}
+}

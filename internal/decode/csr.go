@@ -95,6 +95,12 @@ func (c *CSR) LeftMask(r int32) []uint64 {
 	return c.leftMask[int(r)*c.Words : (int(r)+1)*c.Words]
 }
 
+// ParentMask returns node v's parents (the checks referencing it) as a
+// Words-long bitmask. The caller must not mutate the returned slice.
+func (c *CSR) ParentMask(v int32) []uint64 {
+	return c.parMask[int(v)*c.Words : (int(v)+1)*c.Words]
+}
+
 // Parents returns the right nodes referencing v. The caller must not
 // mutate the returned slice.
 func (c *CSR) Parents(v int32) []int32 { return c.parAdj[c.parOff[v]:c.parOff[v+1]] }

@@ -91,3 +91,60 @@ func FuzzKernelMatchesReference(f *testing.F) {
 		}
 	})
 }
+
+// FuzzSlicedMatchesReference is the bit-sliced kernel's randomized arm:
+// a seeded random cascade plus random words of up to 64 erasure patterns
+// (random per-lane sizes, random active masks, one kernel reused across
+// words), every active lane compared against both the scalar kernel and
+// ReferenceRecoverable. This is the fuzz face of the differential battery
+// required by the sliced scan path (see also TestSliced* and the
+// pruning-soundness tests in internal/sim).
+func FuzzSlicedMatchesReference(f *testing.F) {
+	f.Add(uint64(1), uint64(2))
+	f.Add(uint64(2006), uint64(0))
+	f.Add(uint64(0x5EED), uint64(64))
+	f.Fuzz(func(t *testing.T, seed, stream uint64) {
+		rng := rand.New(rand.NewPCG(seed, stream))
+		g := randomCascade(rng)
+		csr := NewCSR(g)
+		sk := NewSlicedKernel(csr)
+		kn := NewKernel(csr)
+
+		for word := 0; word < 8; word++ {
+			lanes := 1 + rng.IntN(Lanes)
+			active := uint64(0)
+			patterns := make([][]int, lanes)
+			sk.Reset()
+			for L := 0; L < lanes; L++ {
+				n := rng.IntN(g.Total + 1)
+				patterns[L] = rng.Perm(g.Total)[:n]
+				for _, v := range patterns[L] {
+					sk.Erase(v, 1<<uint(L))
+				}
+				// Leave ~1/8 of the lanes inactive — their erased bits
+				// stay set, so the verdict masking is fuzzed too.
+				if rng.IntN(8) != 0 {
+					active |= 1 << uint(L)
+				}
+			}
+			sk.SetActive(active)
+			got := sk.Eval()
+			if got&^active != 0 {
+				t.Fatalf("verdict %#x outside active mask %#x", got, active)
+			}
+			for L := 0; L < lanes; L++ {
+				if active&(1<<uint(L)) == 0 {
+					continue
+				}
+				want := ReferenceRecoverable(g, patterns[L])
+				if kn.Recoverable(patterns[L]) != want {
+					t.Fatalf("scalar kernel disagrees with reference on %v", patterns[L])
+				}
+				if lane := got&(1<<uint(L)) != 0; lane != want {
+					t.Fatalf("sliced lane %d = %v, reference = %v (graph %v, erased %v)",
+						L, lane, want, g, patterns[L])
+				}
+			}
+		}
+	})
+}

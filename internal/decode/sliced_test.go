@@ -1,0 +1,182 @@
+package decode
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"tornado/internal/combin"
+)
+
+// slicedVerdicts evaluates a batch of up to 64 erasure patterns in one
+// SlicedKernel word and returns the per-lane verdict bitmap.
+func slicedVerdicts(sk *SlicedKernel, patterns [][]int) uint64 {
+	sk.Reset()
+	active := uint64(0)
+	for L, p := range patterns {
+		active |= 1 << uint(L)
+		for _, v := range p {
+			sk.Erase(v, 1<<uint(L))
+		}
+	}
+	sk.SetActive(active)
+	return sk.Eval()
+}
+
+// TestSlicedMatchesReferenceExhaustive is the sliced kernel's exhaustive
+// differential arm: every erasure combination of every small graph at
+// k ≤ 5, batched 64 lanes per word in revolving-door order (so the final
+// word of each cardinality is partial), must agree lane-for-lane with
+// both the scalar kernel and ReferenceRecoverable.
+func TestSlicedMatchesReferenceExhaustive(t *testing.T) {
+	for gi, g := range exhaustiveGraphs(t) {
+		csr := NewCSR(g)
+		sk := NewSlicedKernel(csr)
+		kn := NewKernel(csr)
+		for k := 1; k <= min(5, g.Total); k++ {
+			total, ok := combin.BinomialInt64(g.Total, k)
+			if !ok {
+				t.Fatalf("graph %d: C(%d,%d) overflows", gi, g.Total, k)
+			}
+			idx := make([]int, k)
+			combin.GrayUnrank(idx, g.Total, 0)
+			var batch [][]int
+			flush := func() {
+				got := slicedVerdicts(sk, batch)
+				for L, p := range batch {
+					want := ReferenceRecoverable(g, p)
+					if kn.Recoverable(p) != want {
+						t.Fatalf("graph %d: scalar kernel disagrees with reference on %v", gi, p)
+					}
+					if lane := got&(1<<uint(L)) != 0; lane != want {
+						t.Fatalf("graph %d k=%d: sliced lane %d = %v, reference = %v (erased %v)",
+							gi, k, L, lane, want, p)
+					}
+				}
+				batch = batch[:0]
+			}
+			for r := int64(0); r < total; r++ {
+				batch = append(batch, append([]int(nil), idx...))
+				if len(batch) == Lanes {
+					flush()
+				}
+				if r+1 < total {
+					combin.GrayNext(idx, g.Total)
+				}
+			}
+			flush()
+		}
+	}
+}
+
+// TestSlicedLaneBoundaries pins the word-edge cases: a single pattern in
+// lane 0, the same pattern in lane 63, all 64 lanes holding an identical
+// pattern, and inactive lanes with stale erased bits reporting 0.
+func TestSlicedLaneBoundaries(t *testing.T) {
+	for gi, g := range exhaustiveGraphs(t) {
+		csr := NewCSR(g)
+		sk := NewSlicedKernel(csr)
+		rng := rand.New(rand.NewPCG(uint64(gi), 0x51A9ED))
+		for trial := 0; trial < 20; trial++ {
+			n := rng.IntN(g.Total + 1)
+			p := rng.Perm(g.Total)[:n]
+			want := ReferenceRecoverable(g, p)
+
+			for _, lane := range []uint{0, 63} {
+				sk.Reset()
+				sk.SetActive(1 << lane)
+				for _, v := range p {
+					sk.Erase(v, 1<<lane)
+				}
+				got := sk.Eval()
+				if want {
+					if got != 1<<lane {
+						t.Fatalf("graph %d lane %d: verdict %#x, want %#x (erased %v)", gi, lane, got, uint64(1)<<lane, p)
+					}
+				} else if got != 0 {
+					t.Fatalf("graph %d lane %d: verdict %#x, want 0 (erased %v)", gi, lane, got, p)
+				}
+			}
+
+			// All 64 lanes identical: verdict must be all-ones or zero.
+			sk.Reset()
+			sk.SetActive(^uint64(0))
+			for _, v := range p {
+				sk.Erase(v, ^uint64(0))
+			}
+			got := sk.Eval()
+			if want && got != ^uint64(0) {
+				t.Fatalf("graph %d all-lanes: verdict %#x, want all-ones (erased %v)", gi, got, p)
+			}
+			if !want && got != 0 {
+				t.Fatalf("graph %d all-lanes: verdict %#x, want 0 (erased %v)", gi, got, p)
+			}
+
+			// Inactive lanes stay silent even with erased bits set.
+			sk.Reset()
+			for _, v := range p {
+				sk.Erase(v, ^uint64(0))
+			}
+			sk.SetActive(1 << 7)
+			got = sk.Eval()
+			if got&^(1<<7) != 0 {
+				t.Fatalf("graph %d: inactive lanes reported verdicts: %#x", gi, got)
+			}
+		}
+	}
+}
+
+// TestSlicedReuse drives one kernel through alternating heavy and light
+// words and checks the between-Evals invariant holds (a stale word must
+// not leak into the next verdict).
+func TestSlicedReuse(t *testing.T) {
+	for gi, g := range exhaustiveGraphs(t) {
+		csr := NewCSR(g)
+		sk := NewSlicedKernel(csr)
+		kn := NewKernel(csr)
+		rng := rand.New(rand.NewPCG(uint64(gi)^0xABCD, 7))
+		for trial := 0; trial < 30; trial++ {
+			lanes := 1 + rng.IntN(Lanes)
+			batch := make([][]int, lanes)
+			for L := range batch {
+				n := rng.IntN(g.Total + 1)
+				batch[L] = rng.Perm(g.Total)[:n]
+			}
+			got := slicedVerdicts(sk, batch)
+			for L, p := range batch {
+				want := kn.Recoverable(p)
+				if lane := got&(1<<uint(L)) != 0; lane != want {
+					t.Fatalf("graph %d trial %d: sliced lane %d = %v, scalar = %v (erased %v)",
+						gi, trial, L, lane, want, p)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkSlicedEvalWord measures the steady-state sliced fixpoint: one
+// word of 64 distinct k=5 patterns (a shared 4-node suffix plus a
+// sweeping smallest element — the scan's actual word shape) per op.
+// Reported per-op cost therefore covers 64 pattern evaluations. Must not
+// allocate.
+func BenchmarkSlicedEvalWord(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	g := randomBench96(rng)
+	csr := NewCSR(g)
+	sk := NewSlicedKernel(csr)
+	suffix := []int{70, 75, 80, 85}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Reset()
+		sk.SetActive(^uint64(0))
+		for _, v := range suffix {
+			sk.Erase(v, ^uint64(0))
+		}
+		for L := 0; L < Lanes; L++ {
+			sk.Erase(L, 1<<uint(L))
+		}
+		if sk.Eval() == 0 {
+			b.Fatal("benchmark word unexpectedly unrecoverable in every lane")
+		}
+	}
+}

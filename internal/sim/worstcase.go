@@ -37,6 +37,9 @@ type WorstCaseOptions struct {
 	// one is found (the default stops at the first failing cardinality,
 	// which defines the worst case).
 	KeepGoing bool
+	// Kernel selects the evaluation kernel behind the scans. Default
+	// KernelScalar; see ScanKernel.
+	Kernel ScanKernel
 }
 
 func (o WorstCaseOptions) normalize() WorstCaseOptions {
@@ -44,6 +47,36 @@ func (o WorstCaseOptions) normalize() WorstCaseOptions {
 	o.MaxFailures = intOr(o.MaxFailures, DefaultMaxFailures)
 	o.Workers = defaultWorkers(o.Workers)
 	return o
+}
+
+// ScanKernel selects the evaluation kernel behind the exhaustive scans.
+// Every kernel visits combinations in the same revolving-door rank order
+// and produces bit-identical KResult/RangeResult values — the choice is a
+// pure speed/implementation trade, which is what lets campaign shards,
+// cached results, and golden pins compare across kernels.
+type ScanKernel string
+
+const (
+	// KernelScalar is the incremental peeling kernel advanced by two-node
+	// revolving-door deltas, one pattern per step (PR 4). The zero value,
+	// and the default. "scalar" is accepted as an alias.
+	KernelScalar ScanKernel = ""
+	// KernelSliced is the bit-sliced 64-lane kernel: combinations are
+	// decomposed into revolving-door runs where only the smallest element
+	// sweeps, and each run is evaluated 64 patterns per word with
+	// certificate-guided pruning (see decode.SlicedKernel and
+	// scanRangeSliced).
+	KernelSliced ScanKernel = "sliced"
+)
+
+// Validate reports whether k names a known scan kernel ("", "scalar", or
+// "sliced").
+func (k ScanKernel) Validate() error {
+	switch k {
+	case KernelScalar, "scalar", KernelSliced:
+		return nil
+	}
+	return fmt.Errorf("sim: unknown scan kernel %q", string(k))
 }
 
 // KResult reports the exhaustive examination of one erasure cardinality.
@@ -89,9 +122,12 @@ func WorstCase(g *graph.Graph, opts WorstCaseOptions) (WorstCaseResult, error) {
 // decoding work.
 func WorstCaseCtx(ctx context.Context, g *graph.Graph, opts WorstCaseOptions) (WorstCaseResult, error) {
 	opts = opts.normalize()
+	if err := opts.Kernel.Validate(); err != nil {
+		return WorstCaseResult{}, err
+	}
 	var res WorstCaseResult
 	for k := 1; k <= opts.MaxK; k++ {
-		kr, err := ExhaustiveKCtx(ctx, g, k, opts.MaxFailures, opts.Workers)
+		kr, err := ExhaustiveKKernelCtx(ctx, g, k, opts.MaxFailures, opts.Workers, opts.Kernel)
 		if err != nil {
 			return res, err
 		}
@@ -118,6 +154,15 @@ func ExhaustiveK(g *graph.Graph, k, maxFailures, workers int) (KResult, error) {
 // ExhaustiveKCtx is ExhaustiveK with cancellation (checked every
 // cancelCheckInterval combinations per worker).
 func ExhaustiveKCtx(ctx context.Context, g *graph.Graph, k, maxFailures, workers int) (KResult, error) {
+	return ExhaustiveKKernelCtx(ctx, g, k, maxFailures, workers, KernelScalar)
+}
+
+// ExhaustiveKKernelCtx is ExhaustiveKCtx with an explicit kernel choice.
+// The result is bit-identical across kernels and worker counts.
+func ExhaustiveKKernelCtx(ctx context.Context, g *graph.Graph, k, maxFailures, workers int, kernel ScanKernel) (KResult, error) {
+	if err := kernel.Validate(); err != nil {
+		return KResult{}, err
+	}
 	if k < 1 || k > g.Total {
 		return KResult{}, fmt.Errorf("sim: cardinality %d out of range for %d nodes", k, g.Total)
 	}
@@ -135,7 +180,7 @@ func ExhaustiveKCtx(ctx context.Context, g *graph.Graph, k, maxFailures, workers
 		wg.Add(1)
 		go func(i int, lo, hi int64) {
 			defer wg.Done()
-			rrs[i], errs[i] = ScanRangeCtx(ctx, g, k, lo, hi, maxFailures)
+			rrs[i], errs[i] = ScanRangeKernelCtx(ctx, g, k, lo, hi, maxFailures, kernel)
 		}(i, rg[0], rg[1])
 	}
 	wg.Wait()
@@ -196,6 +241,23 @@ type RangeResult struct {
 // boundaries, and progress counters are flushed to Metrics() at the same
 // cadence.
 func ScanRangeCtx(ctx context.Context, g *graph.Graph, k int, lo, hi int64, maxFailures int) (RangeResult, error) {
+	return scanRangeScalar(ctx, g, k, lo, hi, maxFailures)
+}
+
+// ScanRangeKernelCtx is ScanRangeCtx with an explicit kernel choice. Both
+// kernels visit the same revolving-door rank order and return bit-identical
+// results; KernelSliced evaluates 64 patterns per word (see sliced.go).
+func ScanRangeKernelCtx(ctx context.Context, g *graph.Graph, k int, lo, hi int64, maxFailures int, kernel ScanKernel) (RangeResult, error) {
+	if err := kernel.Validate(); err != nil {
+		return RangeResult{}, err
+	}
+	if kernel == KernelSliced {
+		return scanRangeSliced(ctx, g, k, lo, hi, maxFailures, nil)
+	}
+	return ScanRangeCtx(ctx, g, k, lo, hi, maxFailures)
+}
+
+func scanRangeScalar(ctx context.Context, g *graph.Graph, k int, lo, hi int64, maxFailures int) (RangeResult, error) {
 	if k < 1 || k > g.Total {
 		return RangeResult{}, fmt.Errorf("sim: cardinality %d out of range for %d nodes", k, g.Total)
 	}
