@@ -10,15 +10,17 @@ build:
 test:
 	$(GO) test ./...
 
-# The steward federation stack, the simulation workers, the campaign
-# worker pool, the decode/adjust certification loops, the serving layer
-# (hedged reads, admission, stripe cache), the parallel stream data path,
-# the load generator, the joint-decode federation search, the chaos/WAN
-# injectors, and the federated store (disaster soak) are the
-# concurrency-heavy packages; run them under the race detector.
+# The steward federation stack, the simulation workers (including the
+# stratified certification sampler and the screened n=10k archival-scale
+# smoke), the campaign worker pool, the decode/adjust certification loops,
+# the streaming graph construction, the serving layer (hedged reads,
+# admission, stripe cache), the parallel stream data path, the load
+# generator, the joint-decode federation search, the chaos/WAN injectors,
+# and the federated store (disaster soak) are the concurrency-heavy
+# packages; run them under the race detector.
 race:
 	$(GO) test -race ./internal/steward/ ./internal/sim/ ./internal/obs/ ./internal/campaign/ \
-		./internal/decode/ ./internal/adjust/ ./internal/serve/ ./internal/archive/ \
+		./internal/decode/ ./internal/adjust/ ./internal/core/ ./internal/serve/ ./internal/archive/ \
 		./internal/workload/ ./internal/federation/ ./internal/chaos/ ./internal/fedstore/
 
 vet:
@@ -37,17 +39,21 @@ fuzz:
 # bench measures the certification-scan and defect-scan hot paths (map/
 # decoder baselines vs the incremental kernels), the serving layer (Zipf
 # load generator over a chaos backend with a concurrent scrub, plus the
-# stream/encode data-path loops), and the repair economics (the extended
+# stream/encode data-path loops), the repair economics (the extended
 # RAID comparison plus a measured single-device-loss accounting run),
-# writing BENCH_decode.json, BENCH_defect.json, BENCH_serve.json,
-# BENCH_repair.json, and BENCH_federation.json; -check enforces the
-# zero-allocation invariant on the steady-state kernel paths, the
-# bit-exact-or-error invariant on the chaos load run, the
-# backend-contract allocation budget on the stream stripe loop, exact
-# repair-byte attribution, the degree-aware placement's cross-group read
-# reduction, and the federation gates (mirrored critical sets jointly
-# recoverable, zero residue after a full site wipe, every cross-site
-# repair byte attributed).
+# and the archival-scale sampled certification (streamed n=10k graph,
+# patterns/sec to the 1e-4 Wilson-CI target, precision trajectory,
+# screening rate), writing BENCH_decode.json, BENCH_defect.json,
+# BENCH_serve.json, BENCH_repair.json, BENCH_federation.json, and
+# BENCH_certify.json; -check enforces the zero-allocation invariant on
+# the steady-state kernel paths, the bit-exact-or-error invariant on the
+# chaos load run, the backend-contract allocation budget on the stream
+# stripe loop, exact repair-byte attribution, the degree-aware
+# placement's cross-group read reduction, the federation gates (mirrored
+# critical sets jointly recoverable, zero residue after a full site wipe,
+# every cross-site repair byte attributed), and the certify gates (CI
+# half-width target reached, structural screen >= 90%, no per-trial
+# allocation in the sampler hot loop).
 bench:
 	$(GO) run ./cmd/benchreport -check
 
@@ -55,7 +61,9 @@ check: vet build test race fuzz
 
 # smoke runs a small end-to-end campaign under the race detector: fresh
 # run, cache-served rerun, status — the moving parts CI should exercise
-# beyond unit tests.
+# beyond unit tests. A sampled certification on a streamed n=2000 graph
+# then drives the stratified sampler and its stopping rule through the
+# same journaled pipeline.
 SMOKE_DIR := $(shell mktemp -d /tmp/tornado-smoke.XXXXXX)
 smoke:
 	$(GO) run -race ./cmd/campaign run -dir $(SMOKE_DIR)/camp -cache $(SMOKE_DIR)/cache \
@@ -63,6 +71,8 @@ smoke:
 	$(GO) run -race ./cmd/campaign run -dir $(SMOKE_DIR)/camp2 -cache $(SMOKE_DIR)/cache \
 		-kind worstcase -seed 2006 -maxk 3 -quiet
 	$(GO) run -race ./cmd/campaign status -dir $(SMOKE_DIR)/camp
+	$(GO) run -race ./cmd/campaign run -dir $(SMOKE_DIR)/cert -cache $(SMOKE_DIR)/cache \
+		-kind sampled -seed 2006 -nodes 2000 -mink 5 -maxk 5 -epsilon 1e-3 -quiet
 	rm -rf $(SMOKE_DIR)
 
 clean:

@@ -1,12 +1,14 @@
 // Command campaign runs the paper's bulk testing workloads — exhaustive
-// worst-case searches and Monte Carlo reconstruction profiles (§3) — as
-// durable, resumable campaigns: progress is journaled per shard, Ctrl-C is
-// safe, and an unchanged graph is answered from the result cache.
+// worst-case searches, Monte Carlo reconstruction profiles (§3), and
+// archival-scale sampled certifications — as durable, resumable campaigns:
+// progress is journaled per shard, Ctrl-C is safe, and an unchanged graph
+// is answered from the result cache.
 //
 // Usage:
 //
 //	campaign run -dir wc96 -kind worstcase -seed 2006 -maxk 5
 //	campaign run -dir prof96 -kind profile -graph graph3.graphml -trials 100000
+//	campaign run -dir cert10k -kind sampled -graph big.graphml -mink 5 -maxk 5 -epsilon 1e-4
 //	campaign resume -dir wc96
 //	campaign status -dir wc96
 //
@@ -42,16 +44,19 @@ func main() {
 		dir       = fs.String("dir", "", "campaign directory (journal, manifest, result)")
 		cacheDir  = fs.String("cache", "", "result cache directory (empty disables caching)")
 		workers   = fs.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
-		kind      = fs.String("kind", "worstcase", "workload: worstcase or profile")
+		kind      = fs.String("kind", "worstcase", "workload: worstcase, profile, or sampled")
 		graphPath = fs.String("graph", "", "GraphML graph to test (overrides -seed)")
 		seed      = fs.Uint64("seed", 2006, "generate a fresh graph from this seed")
+		nodes     = fs.Int("nodes", 0, "with -seed: total node count of the generated graph (default 96; large counts use the streaming path)")
 		adjustK   = fs.Int("adjust", 0, "adjust the generated graph to tolerate this cardinality first")
 		maxK      = fs.Int("maxk", 0, "largest erasure cardinality examined")
 		keepGoing = fs.Bool("keepgoing", false, "worstcase: search all cardinalities past the first failure")
 		failures  = fs.Int("failures", 0, "worstcase: failing sets recorded per cardinality")
 		kernel    = fs.String("kernel", "", "worstcase: scan kernel, scalar (default) or sliced")
-		trials    = fs.Int64("trials", 0, "profile: Monte Carlo trials per offline-node count")
-		mcSeed    = fs.Uint64("mcseed", 2006, "profile: sampling seed")
+		trials    = fs.Int64("trials", 0, "profile/sampled: Monte Carlo trial budget per offline-node count")
+		mcSeed    = fs.Uint64("mcseed", 2006, "profile/sampled: sampling seed")
+		minK      = fs.Int("mink", 0, "profile/sampled: smallest erasure cardinality examined")
+		epsilon   = fs.Float64("epsilon", 0, "sampled: stop once the 95% CI half-width reaches this (negative runs the full budget)")
 		shardSize = fs.Int64("shardsize", 0, "combinations/trials per checkpoint shard")
 		quiet     = fs.Bool("quiet", false, "suppress per-shard progress lines")
 	)
@@ -85,7 +90,7 @@ func main() {
 
 	switch sub {
 	case "run":
-		g := loadGraph(*graphPath, *seed, *adjustK)
+		g := loadGraph(*graphPath, *seed, *nodes, *adjustK)
 		spec := tornado.CampaignSpec{
 			Kind:      tornado.CampaignKind(*kind),
 			MaxK:      *maxK,
@@ -99,6 +104,13 @@ func main() {
 		case tornado.CampaignProfile:
 			spec.Trials = *trials
 			spec.Seed = *mcSeed
+			spec.MinK = *minK
+		case tornado.CampaignSampled:
+			spec.Trials = *trials
+			spec.Seed = *mcSeed
+			spec.MinK = *minK
+			spec.Epsilon = *epsilon
+			spec.MaxFailures = *failures
 		}
 		start := time.Now()
 		res, err := tornado.RunCampaignCtx(ctx, *dir, g, spec, opts)
@@ -151,13 +163,17 @@ func usage() {
 	os.Exit(2)
 }
 
-func loadGraph(path string, seed uint64, adjustK int) *tornado.Graph {
+func loadGraph(path string, seed uint64, nodes, adjustK int) *tornado.Graph {
 	var g *tornado.Graph
 	var err error
 	if path != "" {
 		g, err = tornado.LoadGraphML(path)
 	} else {
-		g, _, err = tornado.Generate(tornado.DefaultParams(), seed)
+		p := tornado.DefaultParams()
+		if nodes > 0 {
+			p.TotalNodes = nodes
+		}
+		g, _, err = tornado.Generate(p, seed)
 		if err == nil && adjustK > 0 {
 			g, _, err = tornado.Improve(g, adjustK, tornado.AdjustOptions{}, seed+1)
 		}
@@ -188,6 +204,12 @@ func report(res *tornado.CampaignResult, elapsed time.Duration) {
 		fmt.Printf("first observed failure: %d offline nodes\n", p.FirstObservedFailure())
 		fmt.Printf("avg nodes to reconstruct: %.2f (%.2f)\n", p.AvgNodesToReconstruct(), p.AvgToReconstructRatio())
 		fmt.Printf("50%% reconstruction overhead: %.3f\n", p.Overhead())
+	case res.Sampled != nil:
+		for _, sr := range res.Sampled {
+			lo, hi := sr.Wilson()
+			fmt.Printf("k=%d: P(fail) = %.3g, 95%% CI [%.3g, %.3g] over %d trials (%.1f%% screened, %d rounds)\n",
+				sr.K, sr.Estimate(), lo, hi, sr.Tally.Trials, 100*sr.ScreenRate(), len(sr.Rounds))
+		}
 	}
 	fmt.Printf("%d combinations+trials evaluated in %v\n", res.WorkDone, elapsed.Round(time.Millisecond))
 }

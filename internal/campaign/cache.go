@@ -44,9 +44,18 @@ const scanOrderVersion = "rd2"
 // attributed to the other.
 const scanOrderVersionSliced = "sl1"
 
+// scanOrderVersionSampled tags sampled-certification entries (KindSampled).
+// Sampled campaigns draw from their own RNG seed domain and record
+// stratified tallies rather than scan results, so their cache population
+// is versioned independently of both exhaustive scan orders.
+const scanOrderVersionSampled = "st1"
+
 // orderVersion returns the scan-order tag a normalized spec's cache
 // entries are hashed under.
 func orderVersion(normSpec Spec) string {
+	if normSpec.Kind == KindSampled {
+		return scanOrderVersionSampled
+	}
 	if normSpec.Kernel == "sliced" {
 		return scanOrderVersionSliced
 	}
@@ -99,7 +108,7 @@ func decodeResultFile(path string) (*Result, error) {
 	if err := json.Unmarshal(data, &res); err != nil {
 		return nil, fmt.Errorf("campaign: corrupt result %s: %w", path, err)
 	}
-	if res.Kind != KindWorstCase && res.Kind != KindProfile {
+	if res.Kind != KindWorstCase && res.Kind != KindProfile && res.Kind != KindSampled {
 		return nil, fmt.Errorf("campaign: result %s has unknown kind %q", path, res.Kind)
 	}
 	return &res, nil

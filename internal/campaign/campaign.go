@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"tornado/internal/combin"
+	"tornado/internal/decode"
 	"tornado/internal/graph"
 	"tornado/internal/graphml"
 	"tornado/internal/obs"
@@ -48,6 +49,11 @@ const (
 	// KindProfile is the Monte Carlo reconstruction-failure profile
 	// (sim.FailureProfile).
 	KindProfile Kind = "profile"
+	// KindSampled is the archival-scale sampled certification
+	// (sim.SampleStratifiedCtx): stratified Monte Carlo with a Wilson-CI
+	// planned-precision stopping rule, for graphs whose erasure spaces
+	// overflow the exhaustive rank arithmetic entirely.
+	KindSampled Kind = "sampled"
 )
 
 // DefaultShardSize is the target number of combinations (or Monte Carlo
@@ -79,13 +85,23 @@ type Spec struct {
 	// replayed into the other's campaigns.
 	Kernel string `json:"kernel,omitempty"`
 
-	// Monte Carlo profile fields (KindProfile).
+	// Monte Carlo fields (KindProfile and KindSampled). For KindSampled,
+	// Trials is the per-cardinality trial budget the stopping rule may cut
+	// short, and MaxFailures doubles as the witness cap.
 	Trials          int64  `json:"trials,omitempty"`
 	ExhaustiveLimit int64  `json:"exhaustive_limit,omitempty"`
 	MinK            int    `json:"min_k,omitempty"`
 	Seed            uint64 `json:"seed,omitempty"`
 
-	// ShardSize overrides DefaultShardSize.
+	// Epsilon is the sampled certification's planned-precision target
+	// (KindSampled): sampling of a cardinality stops at the first round
+	// boundary where the pooled 95% Wilson CI half-width is <= Epsilon.
+	// Negative disables the rule (the full Trials budget runs).
+	Epsilon float64 `json:"epsilon,omitempty"`
+
+	// ShardSize overrides DefaultShardSize. For KindSampled it is the
+	// sampled block size: shard boundaries define the RNG streams, so it
+	// participates in the computed result, not just the checkpoint layout.
 	ShardSize int64 `json:"shard_size,omitempty"`
 }
 
@@ -110,6 +126,7 @@ func (s Spec) normalize(total int) Spec {
 			s.Kernel = ""
 		}
 		s.Trials, s.ExhaustiveLimit, s.MinK, s.Seed = 0, 0, 0, 0
+		s.Epsilon = 0
 	case KindProfile:
 		if s.Trials <= 0 {
 			s.Trials = sim.DefaultProfileTrials
@@ -125,15 +142,37 @@ func (s Spec) normalize(total int) Spec {
 		}
 		s.MaxFailures, s.KeepGoing = 0, false
 		s.Kernel = ""
+		s.Epsilon = 0
+	case KindSampled:
+		if s.Trials <= 0 {
+			s.Trials = sim.DefaultSampledMaxTrials
+		}
+		if s.Epsilon == 0 {
+			s.Epsilon = sim.DefaultSampledEpsilon
+		}
+		if s.MinK <= 0 {
+			s.MinK = 1
+		}
+		if s.MaxK <= 0 {
+			s.MaxK = sim.DefaultMaxK
+		}
+		if s.MaxK > total {
+			s.MaxK = total
+		}
+		if s.MaxFailures <= 0 {
+			s.MaxFailures = sim.DefaultMaxFailures
+		}
+		s.ExhaustiveLimit, s.KeepGoing = 0, false
+		s.Kernel = ""
 	}
 	return s
 }
 
 func (s Spec) validate() error {
 	switch s.Kind {
-	case KindWorstCase, KindProfile:
+	case KindWorstCase, KindProfile, KindSampled:
 	default:
-		return fmt.Errorf("campaign: unknown kind %q (want %q or %q)", s.Kind, KindWorstCase, KindProfile)
+		return fmt.Errorf("campaign: unknown kind %q (want %q, %q, or %q)", s.Kind, KindWorstCase, KindProfile, KindSampled)
 	}
 	if err := sim.ScanKernel(s.Kernel).Validate(); err != nil {
 		return fmt.Errorf("campaign: %w", err)
@@ -177,14 +216,17 @@ const (
 	MetricETASeconds  = "campaign_eta_seconds"
 )
 
-// Result is the outcome of a campaign: exactly one of WorstCase or Profile
-// is set, matching Kind.
+// Result is the outcome of a campaign: exactly one of WorstCase, Profile,
+// or Sampled is set, matching Kind.
 type Result struct {
 	Kind        Kind                 `json:"kind"`
 	Fingerprint string               `json:"fingerprint"`
 	Spec        Spec                 `json:"spec"`
 	WorstCase   *sim.WorstCaseResult `json:"worst_case,omitempty"`
 	Profile     *sim.Profile         `json:"profile,omitempty"`
+	// Sampled holds one sampled certification per cardinality in
+	// MinK..MaxK, in ascending K order (KindSampled).
+	Sampled []*sim.SampledResult `json:"sampled,omitempty"`
 	// WorkDone counts combinations plus trials evaluated across all shards
 	// that contributed to the result (journaled ones included).
 	WorkDone int64 `json:"work_done"`
@@ -226,18 +268,32 @@ func (s shard) work() int64 {
 	return s.Hi - s.Lo
 }
 
+// maxPlannedShards bounds the shard list an exhaustive plan may expand to.
+// An archival-scale cardinality whose rank space still fits int64 (e.g.
+// C(100000, 4) ≈ 4.2e18) would otherwise ask for trillions of shard
+// structs; like a true rank overflow, that means exhaustive enumeration is
+// infeasible and the spec should be sampled instead.
+const maxPlannedShards = 1 << 20
+
 // planShards deterministically expands a normalized spec into shard groups.
 // Worst-case campaigns get one group per cardinality (executed in order so
 // the first-failure early stop matches sim.WorstCase); profile campaigns
-// get a single group because every point is independent.
+// get a single group because every point is independent; sampled campaigns
+// get one group per (cardinality, stopping-rule round) so the runner can
+// evaluate the precision target exactly where sim.SampleStratifiedCtx
+// would.
 func planShards(g *graph.Graph, spec Spec) ([][]shard, error) {
 	nextID := 0
 	rankShards := func(k int, maxFailures int, exact bool) ([]shard, error) {
 		total, ok := combin.BinomialInt64(g.Total, k)
 		if !ok {
-			return nil, fmt.Errorf("campaign: C(%d,%d) overflows the rank space; lower MaxK", g.Total, k)
+			return nil, fmt.Errorf("campaign: C(%d,%d) exceeds the exhaustive rank space (%w); lower MaxK or switch to Kind \"sampled\"", g.Total, k, combin.ErrRankOverflow)
 		}
 		parts := (total + spec.ShardSize - 1) / spec.ShardSize
+		if parts > maxPlannedShards {
+			return nil, fmt.Errorf("campaign: C(%d,%d) = %d needs %d shards of %d, beyond the exhaustive planning budget (%w); lower MaxK or switch to Kind \"sampled\"",
+				g.Total, k, total, parts, spec.ShardSize, combin.ErrRankOverflow)
+		}
 		var out []shard
 		for _, rg := range combin.SplitRanges(total, int(parts)) {
 			out = append(out, shard{ID: nextID, K: k, Lo: rg[0], Hi: rg[1], MaxFailures: maxFailures, Exact: exact})
@@ -278,6 +334,31 @@ func planShards(g *graph.Graph, spec Spec) ([][]shard, error) {
 			}
 		}
 		return [][]shard{grp}, nil
+
+	case KindSampled:
+		// One block per shard, blocks grouped into the doubling rounds of
+		// sim.SampledPlan. The stream is the block index within the
+		// cardinality's schedule, so every shard is the exact block a
+		// sim-level SampleStratifiedCtx run would draw.
+		var groups [][]shard
+		for k := spec.MinK; k <= spec.MaxK; k++ {
+			_, rounds := sim.SampledPlan(spec.Trials, spec.ShardSize)
+			for _, rd := range rounds {
+				var grp []shard
+				for b := rd[0]; b < rd[1]; b++ {
+					grp = append(grp, shard{
+						ID:          nextID,
+						K:           k,
+						Trials:      sim.SampledBlockTrials(spec.Trials, spec.ShardSize, b),
+						Stream:      uint64(b),
+						MaxFailures: spec.MaxFailures,
+					})
+					nextID++
+				}
+				groups = append(groups, grp)
+			}
+		}
+		return groups, nil
 	}
 	return nil, spec.validate()
 }
@@ -421,6 +502,12 @@ type runner struct {
 	done  map[int]Record
 	start time.Time
 
+	// samplers pools sim.StratifiedSampler instances over one shared CSR
+	// (KindSampled): the kernel masks and collision counters are the
+	// expensive part of a sampled shard, and pooling keeps them warm across
+	// the shards a worker executes.
+	samplers sync.Pool
+
 	mu          sync.Mutex
 	status      Status
 	workThisRun int64
@@ -458,6 +545,10 @@ func execute(ctx context.Context, dir string, g *graph.Graph, man Manifest, grou
 		res.WorstCase, err = r.runWorstCase(ctx, groups)
 	case KindProfile:
 		res.Profile, err = r.runProfile(ctx, groups[0])
+	case KindSampled:
+		csr := decode.NewCSR(g)
+		r.samplers.New = func() any { return sim.NewStratifiedSampler(csr) }
+		res.Sampled, err = r.runSampled(ctx, groups)
 	default:
 		err = man.Spec.validate()
 	}
@@ -540,6 +631,26 @@ func (r *runner) executeGroup(ctx context.Context, shards []shard) error {
 }
 
 func (r *runner) runShard(ctx context.Context, s shard) (Record, error) {
+	if r.spec.Kind == KindSampled {
+		sp := r.samplers.Get().(*sim.StratifiedSampler)
+		blk, err := sp.SampleBlock(ctx, s.K, s.Trials, r.spec.Seed, s.Stream, s.MaxFailures)
+		r.samplers.Put(sp)
+		if err != nil {
+			return Record{}, err
+		}
+		tally := blk.Tally()
+		rec := Record{
+			Shard: s.ID, K: s.K, Trials: tally.Trials, Hits: tally.Hits,
+			Screened:     blk.Screened,
+			Failures:     blk.Witnesses,
+			StrataHits:   make([]int64, len(blk.Strata)),
+			StrataTrials: make([]int64, len(blk.Strata)),
+		}
+		for i, p := range blk.Strata {
+			rec.StrataHits[i], rec.StrataTrials[i] = p.Hits, p.Trials
+		}
+		return rec, nil
+	}
 	if s.Trials > 0 {
 		prop, err := sim.SampleStreamCtx(ctx, r.g, s.K, s.Trials, r.spec.Seed, s.Stream)
 		if err != nil {
@@ -651,6 +762,60 @@ func (r *runner) runProfile(ctx context.Context, grp []shard) (*sim.Profile, err
 		}
 	}
 	return p, nil
+}
+
+// runSampled executes the sampled certification groups — one per
+// (cardinality, round) in plan order — evaluating the planned-precision
+// stopping rule at exactly the round boundaries sim.SampleStratifiedCtx
+// uses. Once a cardinality reaches the epsilon target its remaining rounds
+// are skipped (their shards stay unrun, like a worst-case early stop), so
+// a resumed campaign replays the same merge sequence and stops at the same
+// boundary as an uninterrupted one.
+func (r *runner) runSampled(ctx context.Context, groups [][]shard) ([]*sim.SampledResult, error) {
+	var out []*sim.SampledResult
+	var cur *sim.SampledResult
+	stopped := false
+	for _, grp := range groups {
+		k := grp[0].K
+		if cur == nil || cur.K != k {
+			cur = &sim.SampledResult{K: k, Strata: make([]stats.Proportion, k+1)}
+			out = append(out, cur)
+			stopped = false
+		}
+		if stopped {
+			continue
+		}
+		if err := r.executeGroup(ctx, grp); err != nil {
+			return nil, err
+		}
+		// Merge in shard (= block) order: tallies are integer sums and
+		// witnesses carry block order, matching sim.mergeSampledBlock.
+		for _, s := range grp {
+			mergeSampledRecord(cur, r.done[s.ID], r.spec.MaxFailures)
+		}
+		cur.Rounds = append(cur.Rounds, sim.SampledRound{Trials: cur.Tally.Trials, HalfWidth: cur.HalfWidth()})
+		if r.spec.Epsilon > 0 && cur.HalfWidth() <= r.spec.Epsilon {
+			stopped = true
+		}
+	}
+	return out, nil
+}
+
+// mergeSampledRecord folds one journaled sampled shard into the running
+// per-cardinality result, reconstructing exactly what the sim driver's
+// block merge computes.
+func mergeSampledRecord(res *sim.SampledResult, rec Record, maxWitnesses int) {
+	for s := range rec.StrataTrials {
+		res.Strata[s].Add(rec.StrataHits[s], rec.StrataTrials[s])
+	}
+	res.Screened += rec.Screened
+	for _, w := range rec.Failures {
+		if len(res.Witnesses) >= maxWitnesses {
+			break
+		}
+		res.Witnesses = append(res.Witnesses, w)
+	}
+	res.Tally = stats.Pool(res.Strata...)
 }
 
 // ReadStatus reports the progress of the campaign in dir without running

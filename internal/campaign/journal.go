@@ -48,7 +48,9 @@ type Manifest struct {
 
 // Record is one journal line: the complete, deterministic result of one
 // shard. Exhaustive shards carry Tested/FailCount/Failures; Monte Carlo
-// shards carry Trials/Hits.
+// shards carry Trials/Hits. Sampled shards additionally carry the
+// per-stratum tallies and the screening count, and reuse Failures for the
+// failing witness patterns.
 type Record struct {
 	Shard     int     `json:"shard"`
 	K         int     `json:"k"`
@@ -57,6 +59,14 @@ type Record struct {
 	Failures  [][]int `json:"failures,omitempty"`
 	Trials    int64   `json:"trials,omitempty"`
 	Hits      int64   `json:"hits,omitempty"`
+
+	// Sampled-shard stratification (KindSampled): index s tallies the
+	// trials whose max same-check collision count is s (capped at K).
+	StrataHits   []int64 `json:"strata_hits,omitempty"`
+	StrataTrials []int64 `json:"strata_trials,omitempty"`
+	// Screened counts the shard's trials resolved by structural proof
+	// alone, never decoded.
+	Screened int64 `json:"screened,omitempty"`
 }
 
 // writeFileAtomic writes data to path via a temp file, fsync, and rename,

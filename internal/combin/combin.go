@@ -7,11 +7,21 @@
 package combin
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/big"
+	"math/bits"
 	"math/rand/v2"
 )
+
+// ErrRankOverflow reports that a combination space is too large to rank
+// with int64 arithmetic — C(n, k) > MaxInt64 — so the lexicographic and
+// revolving-door rank plumbing (Rank/Unrank/GrayRank/GrayUnrank/
+// SplitRanges) cannot address it. Callers hitting this at archival scale
+// (e.g. C(100000, 5) ≈ 6.9e21) should switch from exhaustive enumeration
+// to the sampled certification path, which never ranks the full space.
+var ErrRankOverflow = errors.New("combin: combination space overflows int64 rank arithmetic")
 
 // Binomial returns C(n, k) as a float64. It is exact for results that fit a
 // float64 mantissa and a close approximation beyond; for exact arithmetic use
@@ -39,13 +49,42 @@ func BinomialBig(n, k int) *big.Int {
 }
 
 // BinomialInt64 returns C(n, k) as an int64 and reports whether the value
-// fits without overflow.
+// fits without overflow. It is overflow-exact: the multiplicative recurrence
+// r·(n-k+i)/i is evaluated with a 128-bit intermediate product
+// (bits.Mul64/bits.Div64), and because every intermediate C(n-k+i, i) is
+// itself a binomial bounded by C(n, k), the first step whose quotient
+// exceeds MaxInt64 proves the final coefficient does too — there is no
+// silent wrap and no spurious rejection. Out-of-range inputs (k < 0 or
+// k > n) report (0, true): the coefficient is exactly zero.
 func BinomialInt64(n, k int) (int64, bool) {
-	b := BinomialBig(n, k)
-	if !b.IsInt64() {
-		return 0, false
+	if k < 0 || k > n {
+		return 0, true
 	}
-	return b.Int64(), true
+	if k > n-k {
+		k = n - k
+	}
+	r := uint64(1)
+	for i := 1; i <= k; i++ {
+		hi, lo := bits.Mul64(r, uint64(n-k+i))
+		if hi >= uint64(i) {
+			// bits.Div64 panics when the quotient would not fit 64 bits;
+			// hi >= divisor is exactly that condition, and a >= 2^64
+			// intermediate certainly exceeds MaxInt64.
+			return 0, false
+		}
+		q, rem := bits.Div64(hi, lo, uint64(i))
+		if rem != 0 {
+			// Cannot happen: r = C(n-k+i-1, i-1), so r·(n-k+i) is an exact
+			// multiple of i. Guarded so a future edit fails loudly rather
+			// than silently truncating.
+			panic("combin: BinomialInt64 inexact division")
+		}
+		if q > math.MaxInt64 {
+			return 0, false
+		}
+		r = q
+	}
+	return int64(r), true
 }
 
 // LogBinomial returns ln C(n, k), using the log-gamma function so very large

@@ -1,0 +1,82 @@
+package combin
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+// TestBinomialInt64ExactBoundary pins the overflow check at the exact int64
+// edge. C(2^32, 2) = 2^31·(2^32-1) = 9223372034707292160 is the largest
+// pair-count of this form that fits; C(2^32+1, 2) exceeds MaxInt64 by a
+// hair. A wrapping implementation passes the first and silently corrupts
+// the second.
+func TestBinomialInt64ExactBoundary(t *testing.T) {
+	const n = 1 << 32
+	v, ok := BinomialInt64(n, 2)
+	if !ok || v != 9223372034707292160 {
+		t.Fatalf("C(2^32,2) = %d, ok=%v; want 9223372034707292160, true", v, ok)
+	}
+	if _, ok := BinomialInt64(n+1, 2); ok {
+		t.Fatalf("C(2^32+1,2) reported as fitting int64; it is %s",
+			BinomialBig(n+1, 2))
+	}
+}
+
+// TestBinomialInt64ArchivalScale covers the motivating case: the exhaustive
+// rank space at n=100k, k=5 is ≈ 6.9e21 and must be rejected, while the
+// k<=3 spaces still fit.
+func TestBinomialInt64ArchivalScale(t *testing.T) {
+	for k := 0; k <= 3; k++ {
+		v, ok := BinomialInt64(100000, k)
+		if !ok {
+			t.Fatalf("C(100000,%d) unexpectedly reported overflow", k)
+		}
+		if want := BinomialBig(100000, k); big.NewInt(v).Cmp(want) != 0 {
+			t.Fatalf("C(100000,%d) = %d, want %s", k, v, want)
+		}
+	}
+	for k := 5; k <= 7; k++ {
+		if v, ok := BinomialInt64(100000, k); ok {
+			t.Fatalf("C(100000,%d) = %d reported as fitting; true value %s",
+				k, v, BinomialBig(100000, k))
+		}
+	}
+}
+
+// TestBinomialInt64MatchesBig differentially checks the 128-bit
+// multiplicative path against math/big over a grid that straddles the
+// overflow frontier in both n and k (C(66,33) fits, C(68,34) does not).
+func TestBinomialInt64MatchesBig(t *testing.T) {
+	ns := []int{0, 1, 2, 5, 20, 62, 63, 64, 65, 66, 67, 68, 70, 96, 128,
+		1000, 10000, 100000, 1 << 31, 1 << 32}
+	maxI64 := new(big.Int).SetInt64(math.MaxInt64)
+	for _, n := range ns {
+		ks := []int{-1, 0, 1, 2, 3, 4, 5, n - 1, n, n + 1}
+		if n <= 1000 {
+			ks = append(ks, n/2) // big.Int.Binomial at k=n/2 is only tractable for modest n
+		}
+		for _, k := range ks {
+			want := BinomialBig(n, k)
+			fits := want.Cmp(maxI64) <= 0
+			got, ok := BinomialInt64(n, k)
+			if ok != fits {
+				t.Fatalf("C(%d,%d): ok=%v, want fits=%v (value %s)", n, k, ok, fits, want)
+			}
+			if ok && big.NewInt(got).Cmp(want) != 0 {
+				t.Fatalf("C(%d,%d) = %d, want %s", n, k, got, want)
+			}
+		}
+	}
+}
+
+// TestBinomialInt64OutOfRange pins the out-of-range convention: the
+// coefficient is exactly zero, which trivially fits.
+func TestBinomialInt64OutOfRange(t *testing.T) {
+	for _, c := range [][2]int{{5, -1}, {5, 6}, {0, 1}, {-3, 2}} {
+		v, ok := BinomialInt64(c[0], c[1])
+		if v != 0 || !ok {
+			t.Fatalf("C(%d,%d) = %d, ok=%v; want 0, true", c[0], c[1], v, ok)
+		}
+	}
+}

@@ -118,7 +118,12 @@ func PlanLevels(p Params) (LevelPlan, error) {
 }
 
 // Generate produces a defect-screened Tornado Code graph. The rng drives
-// all randomness, so a fixed seed reproduces the same graph.
+// all randomness, so a fixed seed reproduces the same graph. Above
+// StreamThreshold total nodes, construction and screening switch to the
+// streaming path (see stream.go): O(edges) stub wiring instead of the
+// quadratic per-edge stub scan, and closed-pair screening instead of the
+// full subset scan. The sub-threshold path — and therefore every graph the
+// paper's evaluation pins — is byte-identical to earlier releases.
 func Generate(p Params, rng *rand.Rand) (*graph.Graph, GenStats, error) {
 	var st GenStats
 	if p.MaxAttempts < 1 {
@@ -127,13 +132,26 @@ func Generate(p Params, rng *rand.Rand) (*graph.Graph, GenStats, error) {
 	if p.RepairRounds < 0 {
 		p.RepairRounds = 0
 	}
+	stream := p.TotalNodes > StreamThreshold
 	for st.Attempts < p.MaxAttempts {
 		st.Attempts++
-		g, err := generateOnce(p, rng)
+		var g *graph.Graph
+		var err error
+		if stream {
+			g, err = generateStreamOnce(p, rng)
+		} else {
+			g, err = generateOnce(p, rng)
+		}
 		if err != nil {
 			return nil, st, err
 		}
-		ok, rewires := RepairDefects(g, p.DefectScanSize, p.RepairRounds, rng)
+		var ok bool
+		var rewires int
+		if stream {
+			ok, rewires = repairDefectsStream(g, p, rng)
+		} else {
+			ok, rewires = RepairDefects(g, p.DefectScanSize, p.RepairRounds, rng)
+		}
 		if !ok {
 			st.Discarded++
 			continue
@@ -151,6 +169,9 @@ func Generate(p Params, rng *rand.Rand) (*graph.Graph, GenStats, error) {
 // paper's "initial graph failure experiences" baseline (§3.2), kept for the
 // Table 2 comparison.
 func GenerateUnscreened(p Params, rng *rand.Rand) (*graph.Graph, error) {
+	if p.TotalNodes > StreamThreshold {
+		return generateStreamOnce(p, rng)
+	}
 	return generateOnce(p, rng)
 }
 
@@ -191,41 +212,10 @@ func generateOnce(p Params, rng *rand.Rand) (*graph.Graph, error) {
 // degrees from the Poisson solver constrained to the same edge total, then
 // a random matching of edge stubs with duplicate-edge repair.
 func wireLevel(g *graph.Graph, p Params, leftFirst, leftCount, rightFirst, rightCount int, rng *rand.Rand) error {
-	// A left node of degree d needs d distinct right neighbors, so the
-	// left distribution's maximum degree must stay within the level's
-	// right node count.
-	var leftDist dist.Dist
-	if p.LeftDist != nil {
-		leftDist = p.LeftDist(rightCount)
-		if leftDist.MaxDegree() > rightCount {
-			return fmt.Errorf("core: custom left distribution max degree %d exceeds %d right nodes",
-				leftDist.MaxDegree(), rightCount)
-		}
-	} else {
-		D := min(p.HeavyTailD, rightCount-1)
-		leftDist = dist.Uniform(1)
-		if D >= 1 {
-			leftDist = dist.HeavyTail(D)
-		}
-	}
-	leftSol, err := dist.Solve(leftDist, leftCount)
+	leftDegs, rightDegs, err := levelDegrees(p, leftCount, rightCount)
 	if err != nil {
-		return fmt.Errorf("core: left solve: %w", err)
+		return err
 	}
-	edges := leftSol.Edges
-
-	alpha := p.RightAlpha
-	if alpha <= 0 {
-		alpha = float64(edges) / float64(rightCount)
-	}
-	maxRight := min(leftCount, int(math.Ceil(2*float64(edges)/float64(rightCount)))+2)
-	rightSol, err := dist.SolveEdgesMax(dist.PoissonRight(alpha, maxRight), rightCount, edges, leftCount)
-	if err != nil {
-		return fmt.Errorf("core: right solve: %w", err)
-	}
-
-	leftDegs := leftSol.Degrees()
-	rightDegs := rightSol.Degrees()
 
 	const matchAttempts = 50
 	for attempt := 0; ; attempt++ {
@@ -245,6 +235,44 @@ func wireLevel(g *graph.Graph, p Params, leftFirst, leftCount, rightFirst, right
 				leftFirst, leftCount, rightFirst, rightCount)
 		}
 	}
+}
+
+// levelDegrees solves the level's degree sequences: left degrees from the
+// configured (default heavy-tail) distribution, right degrees from the
+// truncated Poisson constrained to the same edge total. A left node of
+// degree d needs d distinct right neighbors, so the left distribution's
+// maximum degree must stay within the level's right node count.
+func levelDegrees(p Params, leftCount, rightCount int) (leftDegs, rightDegs []int, err error) {
+	var leftDist dist.Dist
+	if p.LeftDist != nil {
+		leftDist = p.LeftDist(rightCount)
+		if leftDist.MaxDegree() > rightCount {
+			return nil, nil, fmt.Errorf("core: custom left distribution max degree %d exceeds %d right nodes",
+				leftDist.MaxDegree(), rightCount)
+		}
+	} else {
+		D := min(p.HeavyTailD, rightCount-1)
+		leftDist = dist.Uniform(1)
+		if D >= 1 {
+			leftDist = dist.HeavyTail(D)
+		}
+	}
+	leftSol, err := dist.Solve(leftDist, leftCount)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: left solve: %w", err)
+	}
+	edges := leftSol.Edges
+
+	alpha := p.RightAlpha
+	if alpha <= 0 {
+		alpha = float64(edges) / float64(rightCount)
+	}
+	maxRight := min(leftCount, int(math.Ceil(2*float64(edges)/float64(rightCount)))+2)
+	rightSol, err := dist.SolveEdgesMax(dist.PoissonRight(alpha, maxRight), rightCount, edges, leftCount)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: right solve: %w", err)
+	}
+	return leftSol.Degrees(), rightSol.Degrees(), nil
 }
 
 // wireRandom assigns each right node d distinct left neighbors sampled

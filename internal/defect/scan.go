@@ -164,7 +164,7 @@ func containsFound(findings []Finding, S []int) bool {
 func closedSets(ctx context.Context, t *Table, size, workers int) ([][]int, error) {
 	total, ok := combin.BinomialInt64(t.LeftCount, size)
 	if !ok {
-		return nil, fmt.Errorf("defect: C(%d,%d) overflows the rank space", t.LeftCount, size)
+		return nil, fmt.Errorf("defect: C(%d,%d) exceeds the exhaustive rank space (%w); lower maxSize", t.LeftCount, size, combin.ErrRankOverflow)
 	}
 	if total == 0 {
 		return nil, nil

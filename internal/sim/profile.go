@@ -93,41 +93,57 @@ func FailureProfileCtx(ctx context.Context, g *graph.Graph, opts ProfileOptions)
 	return p, nil
 }
 
+// sampleBlockSize is the deterministic unit of sampled profile work:
+// trials split into fixed-size blocks with stream = block index. It
+// matches the campaign's default profile shard size, so a FailureProfile
+// point and a profile campaign over the same seed produce identical
+// tallies.
+const sampleBlockSize = 65536
+
 // sampleK estimates the failure fraction for exactly k offline nodes by
-// uniform random sampling, fanned out over workers (one RNG stream each).
+// uniform random sampling. Work is split into fixed deterministic blocks
+// (stream = block index) that a worker pool consumes, so the tally — an
+// integer sum over blocks — is bit-identical at any worker count. The
+// historical split (one stream per worker, trials divided among workers)
+// made the estimate depend on GOMAXPROCS and silently dropped non-context
+// worker errors.
 func sampleK(ctx context.Context, g *graph.Graph, k int, opts ProfileOptions) (stats.Proportion, error) {
 	if k < 1 || k > g.Total {
 		return stats.Proportion{}, fmt.Errorf("sim: cardinality %d out of range for %d nodes", k, g.Total)
 	}
-	per := opts.Trials / int64(opts.Workers)
-	rem := opts.Trials % int64(opts.Workers)
+	nBlocks := (opts.Trials + sampleBlockSize - 1) / sampleBlockSize
+	props := make([]stats.Proportion, nBlocks)
+	errs := make([]error, nBlocks)
 
-	var mu sync.Mutex
-	var agg stats.Proportion
-	var wg sync.WaitGroup
-	for w := 0; w < opts.Workers; w++ {
-		n := per
-		if int64(w) < rem {
-			n++
-		}
-		if n == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(worker uint64, trials int64) {
-			defer wg.Done()
-			prop, err := SampleStreamCtx(ctx, g, k, trials, opts.Seed, worker)
-			if err != nil {
-				return // ctx canceled; surfaced after wg.Wait
-			}
-			mu.Lock()
-			agg.Add(prop.Hits, prop.Trials)
-			mu.Unlock()
-		}(uint64(w), n)
+	workers := opts.Workers
+	if int64(workers) > nBlocks {
+		workers = int(nBlocks)
 	}
+	ch := make(chan int64)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range ch {
+				n := min(sampleBlockSize, opts.Trials-b*sampleBlockSize)
+				props[b], errs[b] = SampleStreamCtx(ctx, g, k, n, opts.Seed, uint64(b))
+			}
+		}()
+	}
+	for b := int64(0); b < nBlocks; b++ {
+		ch <- b
+	}
+	close(ch)
 	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return stats.Proportion{}, err
+	var agg stats.Proportion
+	for b := range props {
+		// First error in block order: deterministic propagation, and
+		// non-context errors are no longer swallowed.
+		if errs[b] != nil {
+			return stats.Proportion{}, errs[b]
+		}
+		agg.Add(props[b].Hits, props[b].Trials)
 	}
 	return agg, nil
 }

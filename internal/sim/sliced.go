@@ -594,7 +594,7 @@ func scanRangeSliced(ctx context.Context, g *graph.Graph, k int, lo, hi int64, m
 	}
 	total, ok := combin.BinomialInt64(g.Total, k)
 	if !ok {
-		return RangeResult{}, fmt.Errorf("sim: C(%d,%d) overflows the rank space", g.Total, k)
+		return RangeResult{}, fmt.Errorf("sim: C(%d,%d) exceeds the exhaustive rank space (%w); use the sampled certification spec for archival-scale graphs", g.Total, k, combin.ErrRankOverflow)
 	}
 	if lo < 0 || hi > total || lo > hi {
 		return RangeResult{}, fmt.Errorf("sim: rank range [%d,%d) outside [0,%d)", lo, hi, total)

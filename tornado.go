@@ -27,7 +27,7 @@
 // finishing a multi-minute search. The short name is a thin
 // backward-compatible wrapper that delegates with context.Background().
 // The pairs are WorstCase/WorstCaseCtx, Profile/ProfileCtx,
-// ClearCardinality/ClearCardinalityCtx, Improve/ImproveCtx,
+// Certify/CertifyCtx, ClearCardinality/ClearCardinalityCtx, Improve/ImproveCtx,
 // MeasureOverhead/MeasureOverheadCtx, and
 // SimulateLifetime/SimulateLifetimeCtx; steward clients and replicators
 // carry ...Ctx methods the same way. New long-running APIs should follow
@@ -83,6 +83,12 @@ type (
 	DecodeResult = decode.Result
 	// ScanKernel selects the evaluation kernel used by exhaustive scans.
 	ScanKernel = sim.ScanKernel
+	// CertifyOptions tunes the archival-scale sampled certification.
+	CertifyOptions = sim.SampledOptions
+	// CertifyResult reports a sampled certification: pooled failure tally
+	// with Wilson CI, collision-count strata, screening rate, and the
+	// precision trajectory.
+	CertifyResult = sim.SampledResult
 )
 
 // Scan kernel selectors for WorstCaseOptions.Kernel and CampaignSpec.Kernel.
@@ -135,6 +141,32 @@ func ScanAllDefects(g *Graph, maxSize int) ([]Defect, error) {
 // worker count (0 = GOMAXPROCS).
 func ScanAllDefectsCtx(ctx context.Context, g *Graph, maxSize, workers int) ([]Defect, error) {
 	return defect.ScanGraphCtx(ctx, g, maxSize, workers)
+}
+
+// Certify runs the archival-scale sampled certification of erasure
+// cardinality k: stratified Monte Carlo where most patterns are resolved
+// by structural proof (the generation-time defect screen's collision
+// analysis) and only the unresolved tail is decoded, 64 patterns per pass
+// through the bit-sliced kernel. Sampling stops once the pooled 95% Wilson
+// CI half-width reaches opts.Epsilon. This is the certification path for
+// graphs whose erasure spaces overflow exhaustive rank arithmetic
+// (WorstCase at n=100,000 fails with a rank-overflow error pointing here).
+func Certify(g *Graph, k int, opts CertifyOptions) (*CertifyResult, error) {
+	return sim.SampleStratified(g, k, opts)
+}
+
+// CertifyCtx is Certify with cancellation, honored at combination-chunk
+// boundaries inside every sampling worker.
+func CertifyCtx(ctx context.Context, g *Graph, k int, opts CertifyOptions) (*CertifyResult, error) {
+	return sim.SampleStratifiedCtx(ctx, g, k, opts)
+}
+
+// ScanClosedPairs finds every closed data-node pair with the O(edges)
+// hashed scan the streaming generation path uses at archival scale. Unlike
+// ScanDefects it never walks the pair rank space, so it stays fast at
+// n=100,000.
+func ScanClosedPairs(g *Graph) []Defect {
+	return core.ClosedDataPairs(g)
 }
 
 // WorstCase runs the exhaustive combinatorial search for the graph's
@@ -240,6 +272,11 @@ type (
 const (
 	CampaignWorstCase = campaign.KindWorstCase
 	CampaignProfile   = campaign.KindProfile
+	// CampaignSampled is the archival-scale sampled certification as a
+	// durable campaign: per-block journaling, bit-identical resume, and the
+	// Wilson-CI stopping rule evaluated at the same round boundaries as
+	// Certify.
+	CampaignSampled = campaign.KindSampled
 )
 
 // RunCampaign starts a fresh campaign in dir and executes it to
